@@ -1,0 +1,107 @@
+"""E8 — ablation of the traversal mix (Section 4 design choices).
+
+The phase/stage machinery is what keeps the number of rounds poly-logarithmic:
+
+* disabling *path halving* (walking to the nearer endpoint instead) makes the
+  leftover path shrink by O(1) per round, so rounds blow up on long paths;
+* disabling the *heavy-subtree scenarios* (treating the heavy case like a
+  disintegrating traversal) can break the C1/C2 invariant; the engine repairs
+  it with the counted fallback, trading parallelism for correctness.
+
+The harness quantifies both effects; the full engine must show zero fallbacks
+and the smallest round counts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import record_table, scale_sizes
+from repro.constants import VIRTUAL_ROOT
+from repro.core.queries import BruteForceQueryService
+from repro.core.reduction import RerootTask
+from repro.core.reroot_parallel import ParallelRerootEngine
+from repro.graph.generators import caterpillar_graph, gnp_random_graph
+from repro.graph.traversal import static_dfs_forest
+from repro.graph.validation import check_dfs_tree
+from repro.metrics.counters import MetricsRecorder
+from repro.tree.dfs_tree import DFSTree
+
+
+def _run(graph, task, **kwargs):
+    tree = DFSTree(static_dfs_forest(graph), root=VIRTUAL_ROOT)
+    metrics = MetricsRecorder()
+    engine = ParallelRerootEngine(
+        tree,
+        BruteForceQueryService(graph, tree),
+        adjacency=graph.neighbor_list,
+        metrics=metrics,
+        **kwargs,
+    )
+    assignment = engine.reroot_many([task])
+    parent = tree.parent_map()
+    parent.update(assignment)
+    assert check_dfs_tree(graph, parent) == []
+    return metrics
+
+
+@pytest.mark.benchmark(group="E8-ablation")
+def test_path_halving_ablation(benchmark):
+    spines = scale_sizes([64, 128, 256], [32, 64])
+    full_rounds, crippled_rounds = [], []
+    for spine in spines:
+        graph = caterpillar_graph(spine, 2)
+        task = RerootTask(subtree_root=0, new_root=spine - 1, attach=VIRTUAL_ROOT)
+        full_rounds.append(_run(graph, task)["traversal_rounds"])
+        crippled_rounds.append(
+            _run(graph, task, enable_path_halving=False)["traversal_rounds"]
+        )
+    record_table(
+        benchmark,
+        "E8_path_halving_ablation",
+        spines,
+        {"full_engine_rounds": full_rounds, "no_path_halving_rounds": crippled_rounds},
+    )
+    assert crippled_rounds[-1] > full_rounds[-1]
+
+    graph = caterpillar_graph(spines[-1], 2)
+    task = RerootTask(subtree_root=0, new_root=spines[-1] - 1, attach=VIRTUAL_ROOT)
+    benchmark(lambda: _run(graph, task))
+
+
+@pytest.mark.benchmark(group="E8-ablation")
+def test_heavy_scenarios_ablation(benchmark):
+    sizes = scale_sizes([200, 400], [100])
+    full_fallbacks, ablated_fallbacks = [], []
+    full_rounds, ablated_rounds = [], []
+    for n in sizes:
+        graph = gnp_random_graph(n, 5.0 / n, seed=7, connected=True)
+        tree = DFSTree(static_dfs_forest(graph), root=VIRTUAL_ROOT)
+        root = tree.children(VIRTUAL_ROOT)[0]
+        deep = max(tree.vertices(), key=lambda v: tree.level(v))
+        task = RerootTask(subtree_root=root, new_root=deep, attach=VIRTUAL_ROOT)
+        full = _run(graph, task)
+        ablated = _run(graph, task, enable_heavy=False)
+        full_fallbacks.append(full.get("fallback_components", 0))
+        ablated_fallbacks.append(ablated.get("fallback_components", 0))
+        full_rounds.append(full["traversal_rounds"])
+        ablated_rounds.append(ablated["traversal_rounds"])
+        assert full.get("fallback_components", 0) == 0
+    record_table(
+        benchmark,
+        "E8_heavy_scenarios_ablation",
+        sizes,
+        {
+            "full_engine_rounds": full_rounds,
+            "heavy_disabled_rounds": ablated_rounds,
+            "full_engine_fallbacks": full_fallbacks,
+            "heavy_disabled_fallbacks": ablated_fallbacks,
+        },
+    )
+
+    graph = gnp_random_graph(sizes[-1], 5.0 / sizes[-1], seed=7, connected=True)
+    tree = DFSTree(static_dfs_forest(graph), root=VIRTUAL_ROOT)
+    root = tree.children(VIRTUAL_ROOT)[0]
+    deep = max(tree.vertices(), key=lambda v: tree.level(v))
+    task = RerootTask(subtree_root=root, new_root=deep, attach=VIRTUAL_ROOT)
+    benchmark(lambda: _run(graph, task))

@@ -1,0 +1,67 @@
+"""E4 — Theorem 16: distributed dynamic DFS in CONGEST(n/D).
+
+Claim: per update, ``O(D log^2 n)`` rounds and ``O(nD log^2 n + m)`` messages of
+size ``O(n/D)``.  The harness sweeps graphs of (roughly) fixed size but very
+different diameters and reports rounds, messages and the maximum message size
+per update; rounds must grow with the diameter ``D``, not with ``n``, and no
+message may exceed the ``ceil(n/D)`` budget.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import record_table, scale_sizes
+from repro.distributed.distributed_dfs import DistributedDynamicDFS
+from repro.graph.generators import cycle_with_chords, grid_graph, path_graph, star_graph
+from repro.workloads.updates import edge_churn
+
+
+@pytest.mark.benchmark(group="E4-distributed")
+def test_distributed_rounds_vs_diameter(benchmark):
+    n = scale_sizes([256], [64])[0]
+    side = int(n ** 0.5)
+    topologies = [
+        ("star (D=2)", star_graph(n)),
+        ("random chords (small D)", cycle_with_chords(n, n // 2, seed=1)),
+        ("grid (D=2*sqrt(n))", grid_graph(side, side)),
+        ("path (D=n-1)", path_graph(n)),
+    ]
+    diameters, rounds, messages, msg_size, budget = [], [], [], [], []
+    labels = []
+    for label, graph in topologies:
+        dist = DistributedDynamicDFS(graph)
+        updates = edge_churn(graph, 4, seed=9)
+        dist.apply_all(updates)
+        labels.append(label)
+        diameters.append(dist.diameter)
+        rounds.append(dist.metrics["max_rounds_per_update"])
+        messages.append(dist.metrics["max_messages_per_update"])
+        msg_size.append(dist.network.max_message_words)
+        budget.append(dist.bandwidth)
+        assert dist.network.max_message_words <= dist.bandwidth
+
+    record_table(
+        benchmark,
+        "E4_rounds_vs_diameter",
+        diameters,
+        {
+            "rounds_per_update": rounds,
+            "messages_per_update": messages,
+            "max_message_words": msg_size,
+            "message_budget_nD": budget,
+        },
+    )
+    print("topologies:", ", ".join(f"{l} -> D={d}" for l, d in zip(labels, diameters)))
+    # Rounds grow with the diameter: the path needs more rounds than the star.
+    assert rounds[-1] > rounds[0]
+
+    graph = grid_graph(side, side)
+    dist = DistributedDynamicDFS(graph)
+    u0, v0 = next(iter(graph.edges()))
+
+    def run():
+        dist.delete_edge(u0, v0)
+        dist.insert_edge(u0, v0)
+
+    benchmark(run)

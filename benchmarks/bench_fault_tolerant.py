@@ -1,0 +1,57 @@
+"""E2 — Theorem 14: fault-tolerant DFS for batches of k updates.
+
+The preprocessed structure ``D`` is never rebuilt; the cost of answering a
+batch grows with ``k`` because queries against the intermediate trees decompose
+into more and more ancestor–descendant segments of the original tree
+(``O(log^{2(i-1)} n)`` for the i-th update).  The harness reports, per ``k``:
+wall-clock time, total query rounds, and the maximum number of base-tree
+segments a single query needed — the quantity whose growth drives the
+``k log^{2k+1} n`` bound.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import record_table, scale_sizes
+from repro.core.fault_tolerant import FaultTolerantDFS
+from repro.graph.generators import gnp_random_graph
+from repro.metrics.counters import MetricsRecorder
+from repro.workloads.updates import mixed_updates
+
+
+@pytest.mark.benchmark(group="E2-fault-tolerant")
+def test_fault_tolerant_batches(benchmark):
+    n = 600 if scale_sizes([1], [0])[0] else 200
+    graph = gnp_random_graph(n, 4.0 / n, seed=3, connected=True)
+    ks = scale_sizes([1, 2, 3, 4, 6, 8], [1, 2, 3])
+
+    times, query_rounds, max_segments = [], [], []
+    import time
+
+    ft_metrics = MetricsRecorder()
+    ft = FaultTolerantDFS(graph, metrics=ft_metrics)
+    for k in ks:
+        updates = mixed_updates(graph, k, seed=100 + k)
+        before = ft_metrics.as_dict()
+        start = time.perf_counter()
+        ft.query(updates)
+        times.append(round(time.perf_counter() - start, 4))
+        delta = ft_metrics.snapshot_delta(before)
+        query_rounds.append(delta.get("query_batches", 0))
+        max_segments.append(ft_metrics.get("max_d_target_segments_per_query", 1))
+
+    record_table(
+        benchmark,
+        "E2_fault_tolerant_vs_k",
+        ks,
+        {
+            "seconds": times,
+            "query_rounds": query_rounds,
+            "max_segments_per_query": max_segments,
+        },
+    )
+    assert ft_metrics["d_builds"] == 1  # preprocessing only, never rebuilt
+
+    updates = mixed_updates(graph, ks[-1], seed=999)
+    benchmark(lambda: ft.query(updates))

@@ -1,0 +1,70 @@
+"""E6 — Theorems 4–7: depth/work scaling of the PRAM substrate.
+
+Claims reproduced in shape: prefix sums, list ranking, Euler-tour tree functions
+and LCA preprocessing all run in ``O(log n)``/``O(log^2 n)`` simulated depth;
+their metered depth must grow additively (by a constant) when the input doubles,
+not multiplicatively.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import record_table, scale_sizes
+from repro.graph.generators import random_tree
+from repro.graph.traversal import static_dfs_tree
+from repro.pram.lca_parallel import ParallelLCA
+from repro.pram.machine import PRAM
+from repro.pram.primitives import parallel_prefix_sums, pointer_jumping_list_ranking
+from repro.pram.sort import parallel_merge_sort
+from repro.pram.tree_functions import parallel_tree_functions
+from repro.tree.dfs_tree import DFSTree
+
+
+@pytest.mark.benchmark(group="E6-pram")
+def test_primitive_depth_scaling(benchmark):
+    sizes = scale_sizes([256, 1024, 4096], [128, 512])
+    scan_depth, rank_depth, sort_depth, tree_fn_depth, lca_depth = [], [], [], [], []
+    for n in sizes:
+        pram = PRAM()
+        parallel_prefix_sums(pram, [1] * n)
+        scan_depth.append(pram.depth)
+
+        pram = PRAM()
+        successor = list(range(1, n)) + [-1]
+        pointer_jumping_list_ranking(pram, successor)
+        rank_depth.append(pram.depth)
+
+        pram = PRAM()
+        parallel_merge_sort(pram, list(reversed(range(n))))
+        sort_depth.append(pram.depth)
+
+        parent = static_dfs_tree(random_tree(n, seed=1), 0)
+        pram = PRAM()
+        parallel_tree_functions(pram, parent)
+        tree_fn_depth.append(pram.depth)
+
+        tree = DFSTree(parent, root=0)
+        pram = PRAM()
+        ParallelLCA(pram, tree)
+        lca_depth.append(pram.depth)
+
+    record_table(
+        benchmark,
+        "E6_depth_scaling",
+        sizes,
+        {
+            "prefix_sums_depth": scan_depth,
+            "list_ranking_depth": rank_depth,
+            "merge_sort_depth": sort_depth,
+            "euler_tree_functions_depth": tree_fn_depth,
+            "lca_preprocessing_depth": lca_depth,
+        },
+    )
+    # Doubling the input must only add a constant number of rounds for the
+    # O(log n) primitives.
+    assert scan_depth[-1] - scan_depth[0] <= 2 * (len(sizes) - 1) * 4
+    assert rank_depth[-1] - rank_depth[0] <= 2 * (len(sizes) - 1) * 4
+
+    n = sizes[-1]
+    benchmark(lambda: parallel_prefix_sums(PRAM(), [1] * n))

@@ -1,0 +1,55 @@
+"""E3 — Theorem 15: semi-streaming dynamic DFS.
+
+Claim: a DFS tree is maintained with ``O(log^2 n)`` passes over the edge stream
+per update and ``O(n)`` local space, whereas recomputing a DFS tree from a
+stream needs ``Θ(n)`` passes.  The harness sweeps ``n`` and reports the worst
+per-update pass count together with the trivial baseline's pass count (one
+pass per vertex).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from benchmarks.conftest import record_table, scale_sizes
+from repro.graph.generators import gnp_random_graph, path_graph
+from repro.streaming.semi_streaming_dfs import SemiStreamingDynamicDFS
+from repro.workloads.updates import edge_churn
+
+
+@pytest.mark.benchmark(group="E3-streaming")
+def test_streaming_passes_per_update(benchmark):
+    sizes = scale_sizes([128, 256, 512, 1024], [64, 128])
+    worst_passes, mean_passes, trivial = [], [], []
+    for n in sizes:
+        graph = gnp_random_graph(n, 4.0 / n, seed=2, connected=True)
+        ss = SemiStreamingDynamicDFS(graph)
+        updates = edge_churn(graph, 8, seed=5)
+        ss.apply_all(updates)
+        worst_passes.append(ss.metrics["max_passes_per_update"])
+        mean_passes.append(round(ss.passes / len(updates), 2))
+        trivial.append(n)  # the trivial streaming DFS pays one pass per vertex
+        assert ss.metrics["max_passes_per_update"] <= 4 * math.log2(n) ** 2 + 10
+
+    record_table(
+        benchmark,
+        "E3_passes_per_update",
+        sizes,
+        {
+            "worst_passes_per_update": worst_passes,
+            "mean_passes_per_update": mean_passes,
+            "trivial_recompute_passes": trivial,
+        },
+    )
+
+    graph = path_graph(sizes[-1])
+    ss = SemiStreamingDynamicDFS(graph)
+    mid = sizes[-1] // 2
+
+    def run():
+        ss.delete_edge(mid - 1, mid)
+        ss.insert_edge(mid - 1, mid)
+
+    benchmark(run)

@@ -1,0 +1,40 @@
+"""Shared helpers for the benchmark harnesses (see EXPERIMENTS.md).
+
+Each benchmark module regenerates one experiment from the index in DESIGN.md §5:
+it measures wall-clock time with pytest-benchmark *and* prints the model-level
+scaling table (query rounds, passes, CONGEST rounds, ...) that corresponds to
+the theorem being reproduced.  The tables are also attached to the benchmark
+records via ``benchmark.extra_info`` so ``--benchmark-json`` keeps them.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Sequence
+
+import pytest
+
+# Allow quick smoke runs of the benchmark suite: REPRO_BENCH_SCALE=small
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "normal")
+
+
+def scale_sizes(normal: Sequence[int], small: Sequence[int]) -> List[int]:
+    """Pick the size sweep according to REPRO_BENCH_SCALE."""
+    return list(small if SCALE == "small" else normal)
+
+
+def record_table(benchmark, label: str, sizes: Sequence[float], metrics: Dict[str, Sequence[float]]) -> None:
+    """Print a scaling table and attach it to the benchmark record."""
+    from repro.metrics.complexity import summarize_scaling
+
+    text = summarize_scaling(label, list(sizes), {k: list(v) for k, v in metrics.items()})
+    print("\n" + text)
+    benchmark.extra_info[label] = {
+        "sizes": list(sizes),
+        **{k: list(v) for k, v in metrics.items()},
+    }
+
+
+@pytest.fixture
+def scale() -> str:
+    return SCALE

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Domain scenario: fault-tolerant DFS for a datacenter-style fabric.
+
+A grid/fat-tree-ish topology is preprocessed once (Theorem 14).  When a burst of
+k link/switch failures hits, a fresh DFS tree of the surviving network is
+produced from the preprocessed structure alone — no rebuild — which is the
+fault-tolerant usage pattern: precompute in the quiet period, answer fast when
+failures strike.
+
+Run:  python examples/datacenter_fault_tolerance.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import FaultTolerantDFS, MetricsRecorder
+from repro.graph.generators import grid_graph
+from repro.graph.validation import check_dfs_tree
+from repro.metrics.complexity import format_table
+from repro.workloads.updates import failure_burst
+
+
+def main() -> None:
+    fabric = grid_graph(16, 16)
+    print(f"fabric: 16x16 grid, n={fabric.num_vertices}, m={fabric.num_edges}")
+
+    metrics = MetricsRecorder()
+    start = time.perf_counter()
+    ft = FaultTolerantDFS(fabric, metrics=metrics)
+    preprocess_seconds = time.perf_counter() - start
+    print(f"preprocessing: {preprocess_seconds * 1000:.1f} ms, "
+          f"structure size {ft.structure_size()} entries (O(m))\n")
+
+    rows = []
+    for k in (1, 2, 4, 8):
+        failures = failure_burst(fabric, k, seed=k)
+        start = time.perf_counter()
+        tree, survived = ft.query_with_graph(failures)
+        elapsed = time.perf_counter() - start
+        ok = check_dfs_tree(survived, tree.parent_map()) == []
+        roots = len(tree.children(tree.root))
+        rows.append(
+            [
+                k,
+                ", ".join(type(f).__name__ for f in failures[:3]) + ("..." if k > 3 else ""),
+                f"{elapsed * 1000:.1f}",
+                roots,
+                "yes" if ok else "NO",
+            ]
+        )
+    print(
+        format_table(
+            ["k failures", "failure kinds", "recovery ms", "components after", "valid DFS?"],
+            rows,
+        )
+    )
+    print("\nThe preprocessed structure was reused for every burst "
+          f"(D built {int(metrics['d_builds'])} time).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Thin setup.py shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists so
+that ``pip install -e .`` also works on environments without the ``wheel``
+package (legacy ``--no-use-pep517`` editable installs).
+"""
+
+from setuptools import setup
+
+setup()

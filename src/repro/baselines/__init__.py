@@ -1,0 +1,6 @@
+"""Baselines the paper's algorithm is compared against."""
+
+from repro.baselines.static_recompute import StaticRecomputeDFS
+from repro.baselines.naive_reroot import naive_reroot_subtree
+
+__all__ = ["StaticRecomputeDFS", "naive_reroot_subtree"]

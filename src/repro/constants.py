@@ -1,0 +1,21 @@
+"""Shared constants.
+
+The dynamic-DFS machinery follows the paper's convention of augmenting the graph
+with a *virtual root* connected to every vertex (Section 2), so that a DFS
+*forest* of a possibly disconnected graph is represented as a single DFS tree
+rooted at the virtual root.  User vertices may be any hashable values except the
+sentinel below.
+"""
+
+from __future__ import annotations
+
+from typing import Final
+
+#: Sentinel used as the virtual root of the augmented DFS tree.  It compares
+#: unequal to every ordinary vertex id (ints, strings, tuples, ...).
+VIRTUAL_ROOT: Final = ("__virtual_root__",)
+
+
+def is_virtual_root(vertex: object) -> bool:
+    """Return True iff *vertex* is the virtual root sentinel."""
+    return vertex == VIRTUAL_ROOT

@@ -1,0 +1,46 @@
+"""Core of the reproduction: the data structure ``D``, the reduction from graph
+updates to subtree rerooting, the sequential and parallel rerooting engines, and
+the fully-dynamic / fault-tolerant DFS drivers."""
+
+from repro.core.structure_d import StructureD
+from repro.core.queries import (
+    BruteForceQueryService,
+    DQueryService,
+    EdgeQuery,
+    QueryService,
+)
+from repro.core.components import Component, PathPiece, TreePiece
+from repro.core.reduction import RerootTask, reduce_update
+from repro.core.updates import (
+    EdgeDeletion,
+    EdgeInsertion,
+    Update,
+    VertexDeletion,
+    VertexInsertion,
+)
+from repro.core.reroot_sequential import SequentialRerootEngine
+from repro.core.reroot_parallel import ParallelRerootEngine
+from repro.core.dynamic_dfs import FullyDynamicDFS
+from repro.core.fault_tolerant import FaultTolerantDFS
+
+__all__ = [
+    "StructureD",
+    "QueryService",
+    "DQueryService",
+    "BruteForceQueryService",
+    "EdgeQuery",
+    "Component",
+    "TreePiece",
+    "PathPiece",
+    "RerootTask",
+    "reduce_update",
+    "Update",
+    "EdgeInsertion",
+    "EdgeDeletion",
+    "VertexInsertion",
+    "VertexDeletion",
+    "SequentialRerootEngine",
+    "ParallelRerootEngine",
+    "FullyDynamicDFS",
+    "FaultTolerantDFS",
+]

@@ -1,0 +1,239 @@
+"""Fully dynamic DFS (Theorem 13).
+
+:class:`FullyDynamicDFS` maintains a DFS tree of an undirected graph under an
+arbitrary online sequence of edge/vertex insertions and deletions.  Each update
+is processed exactly as in the paper:
+
+1. the update is applied to the graph;
+2. the data structure ``D`` is rebuilt on the updated graph and the *current*
+   tree (``O(log n)`` parallel time with ``m`` processors — Theorem 8; this is
+   the step that forces the ``m``-processor bound of Theorem 13);
+3. the reduction algorithm turns the update into independent rerooting tasks
+   (Theorem 11);
+4. the rerooting engine (parallel by default, sequential baseline available)
+   executes the tasks (Theorem 12);
+5. the tree indices are rebuilt for the next update.
+
+The graph is augmented with a virtual root connected to every vertex
+(implicitly), so disconnected graphs are handled transparently: the children of
+the virtual root are the roots of the DFS forest.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence
+
+from repro.constants import VIRTUAL_ROOT, is_virtual_root
+from repro.core.queries import BruteForceQueryService, DQueryService, QueryService
+from repro.core.reduction import reduce_update
+from repro.core.reroot_parallel import ParallelRerootEngine
+from repro.core.reroot_sequential import SequentialRerootEngine
+from repro.core.structure_d import StructureD
+from repro.core.updates import (
+    EdgeDeletion,
+    EdgeInsertion,
+    Update,
+    VertexDeletion,
+    VertexInsertion,
+)
+from repro.exceptions import NotADFSTree, UpdateError
+from repro.graph.graph import UndirectedGraph
+from repro.graph.traversal import static_dfs_forest
+from repro.graph.validation import check_dfs_tree
+from repro.metrics.counters import MetricsRecorder
+from repro.tree.dfs_tree import DFSTree
+
+Vertex = Hashable
+
+
+class FullyDynamicDFS:
+    """Maintain a DFS forest of an undirected graph under updates.
+
+    Parameters
+    ----------
+    graph:
+        Initial graph.  It is copied unless ``copy_graph=False``.
+    engine:
+        ``"parallel"`` (the paper's algorithm) or ``"sequential"`` (the Baswana
+        et al. baseline).
+    service:
+        ``"d"`` (data structure ``D``, default) or ``"brute"`` (adjacency scan
+        oracle; used for cross-validation).
+    validate:
+        Check after every update that the maintained tree is a valid DFS forest
+        and raise :class:`NotADFSTree` otherwise.  Also enables the strict
+        invariant checks inside the parallel engine.
+    metrics:
+        Optional shared recorder; every model quantity (query rounds, queries,
+        traversal rounds, ``D`` rebuild work, ...) is accumulated there.
+
+    Examples
+    --------
+    >>> from repro.graph.generators import gnp_random_graph
+    >>> g = gnp_random_graph(50, 0.1, seed=7, connected=True)
+    >>> dyn = FullyDynamicDFS(g)
+    >>> _ = dyn.delete_edge(*next(iter(g.edges())))
+    >>> dyn.is_valid()
+    True
+    """
+
+    def __init__(
+        self,
+        graph: UndirectedGraph,
+        *,
+        engine: str = "parallel",
+        service: str = "d",
+        validate: bool = False,
+        metrics: Optional[MetricsRecorder] = None,
+        copy_graph: bool = True,
+    ) -> None:
+        if engine not in ("parallel", "sequential"):
+            raise ValueError(f"unknown engine {engine!r}")
+        if service not in ("d", "brute"):
+            raise ValueError(f"unknown service {service!r}")
+        self._graph = graph.copy() if copy_graph else graph
+        self._engine_kind = engine
+        self._service_kind = service
+        self._validate = validate
+        self.metrics = metrics or MetricsRecorder("dynamic_dfs")
+        self._tree = self._initial_tree()
+        self._structure: Optional[StructureD] = None
+        self._service: Optional[QueryService] = None
+        self._rebuild_structures()
+        if self._validate:
+            self._check()
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    def _initial_tree(self) -> DFSTree:
+        with self.metrics.timer("initial_dfs"):
+            parent = static_dfs_forest(self._graph)
+        return DFSTree(parent, root=VIRTUAL_ROOT)
+
+    def _rebuild_structures(self) -> None:
+        with self.metrics.timer("build_d"):
+            if self._service_kind == "d":
+                self._structure = StructureD(self._graph, self._tree, metrics=self.metrics)
+                self._service = DQueryService(self._structure, metrics=self.metrics)
+            else:
+                self._structure = None
+                self._service = BruteForceQueryService(self._graph, self._tree, metrics=self.metrics)
+
+    def _make_engine(self):
+        if self._engine_kind == "parallel":
+            return ParallelRerootEngine(
+                self._tree,
+                self._service,
+                adjacency=self._graph.neighbor_list,
+                metrics=self.metrics,
+                validate=self._validate,
+            )
+        return SequentialRerootEngine(self._tree, self._service, metrics=self.metrics)
+
+    # ------------------------------------------------------------------ #
+    # Read access
+    # ------------------------------------------------------------------ #
+    @property
+    def graph(self) -> UndirectedGraph:
+        """The current graph (do not mutate it directly; use the update API)."""
+        return self._graph
+
+    @property
+    def tree(self) -> DFSTree:
+        """The current DFS tree (rooted at the virtual root)."""
+        return self._tree
+
+    def parent_map(self, *, include_virtual_root: bool = True) -> Dict[Vertex, Optional[Vertex]]:
+        """Parent map of the maintained DFS forest.
+
+        Without the virtual root, component roots map to ``None`` (a plain DFS
+        forest of the graph).
+        """
+        parent = self._tree.parent_map()
+        if include_virtual_root:
+            return parent
+        out: Dict[Vertex, Optional[Vertex]] = {}
+        for v, p in parent.items():
+            if is_virtual_root(v):
+                continue
+            out[v] = None if p is None or is_virtual_root(p) else p
+        return out
+
+    def roots(self) -> List[Vertex]:
+        """Roots of the DFS forest (children of the virtual root)."""
+        return self._tree.children(VIRTUAL_ROOT)
+
+    def is_valid(self) -> bool:
+        """True iff the maintained tree is currently a valid DFS forest."""
+        return not check_dfs_tree(self._graph, self._tree.parent_map())
+
+    # ------------------------------------------------------------------ #
+    # Update API
+    # ------------------------------------------------------------------ #
+    def insert_edge(self, u: Vertex, v: Vertex) -> DFSTree:
+        """Insert edge ``(u, v)`` and return the updated tree."""
+        return self.apply(EdgeInsertion(u, v))
+
+    def delete_edge(self, u: Vertex, v: Vertex) -> DFSTree:
+        """Delete edge ``(u, v)`` and return the updated tree."""
+        return self.apply(EdgeDeletion(u, v))
+
+    def insert_vertex(self, v: Vertex, neighbors: Iterable[Vertex] = ()) -> DFSTree:
+        """Insert vertex *v* with edges to *neighbors* and return the updated tree."""
+        return self.apply(VertexInsertion(v, tuple(neighbors)))
+
+    def delete_vertex(self, v: Vertex) -> DFSTree:
+        """Delete vertex *v* (and its incident edges) and return the updated tree."""
+        return self.apply(VertexDeletion(v))
+
+    def apply_all(self, updates: Sequence[Update]) -> DFSTree:
+        """Apply a sequence of updates; returns the final tree."""
+        for upd in updates:
+            self.apply(upd)
+        return self._tree
+
+    def apply(self, update: Update) -> DFSTree:
+        """Apply one update and return the updated DFS tree."""
+        self.metrics.inc("updates")
+        with self.metrics.timer("update"):
+            self._mutate_graph(update)
+            # Rebuild D on the updated graph and the current tree (Theorem 8).
+            self._rebuild_structures()
+            reduction = reduce_update(update, self._tree, self._service, metrics=self.metrics)
+
+            new_parent = self._tree.parent_map()
+            for v in reduction.removed_vertices:
+                new_parent.pop(v, None)
+            new_parent.update(reduction.parent_overrides)
+            if reduction.tasks:
+                engine = self._make_engine()
+                assignment = engine.reroot_many(reduction.tasks)
+                new_parent.update(assignment)
+
+            if not reduction.tree_unchanged or reduction.parent_overrides or reduction.removed_vertices:
+                with self.metrics.timer("rebuild_tree"):
+                    self._tree = DFSTree(new_parent, root=VIRTUAL_ROOT)
+        if self._validate:
+            self._check()
+        return self._tree
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _mutate_graph(self, update: Update) -> None:
+        if isinstance(update, EdgeInsertion):
+            self._graph.add_edge(update.u, update.v)
+        elif isinstance(update, EdgeDeletion):
+            self._graph.remove_edge(update.u, update.v)
+        elif isinstance(update, VertexInsertion):
+            self._graph.add_vertex_with_edges(update.v, update.neighbors)
+        elif isinstance(update, VertexDeletion):
+            self._graph.remove_vertex(update.v)
+        else:
+            raise UpdateError(f"unknown update type {update!r}")
+
+    def _check(self) -> None:
+        problems = check_dfs_tree(self._graph, self._tree.parent_map())
+        if problems:
+            raise NotADFSTree("; ".join(problems[:5]))

@@ -1,0 +1,315 @@
+"""Query abstraction shared by the parallel, streaming and distributed engines.
+
+The rerooting algorithm interacts with non-tree edges *only* through queries of
+the form "among all edges between this unvisited piece and that path of the
+partially built tree ``T*``, return the edge incident nearest to one end of the
+path" (Section 2 of the paper).  The engines express those queries as
+:class:`EdgeQuery` objects and submit them in *batches of independent queries*
+(disjoint source pieces) to a :class:`QueryService`:
+
+* :class:`DQueryService` answers a batch from the in-memory data structure
+  ``D`` (the parallel / PRAM setting; one batch = one round of parallel
+  queries, Theorem 8);
+* :class:`repro.streaming.semi_streaming_dfs.StreamQueryService` answers a
+  batch with a single pass over the edge stream (Theorem 15);
+* :class:`repro.distributed.distributed_dfs.DistributedQueryService` answers a
+  batch with one pipelined broadcast/convergecast over the network
+  (Theorem 16);
+* :class:`BruteForceQueryService` is the oracle used by tests to cross-check
+  the fast implementations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.graph.graph import UndirectedGraph
+from repro.metrics.counters import MetricsRecorder
+from repro.tree.dfs_tree import DFSTree
+from repro.tree.tree_utils import ancestor_descendant_segments
+
+Vertex = Hashable
+Answer = Optional[Tuple[Vertex, Vertex]]  # (source endpoint, target/path endpoint)
+
+
+@dataclass
+class EdgeQuery:
+    """One "lowest/highest edge from a piece to a path" query.
+
+    Attributes
+    ----------
+    source_kind:
+        ``"tree"`` — the piece is the full subtree of the base tree rooted at
+        ``source_root``; ``"path"`` — the piece is the ancestor–descendant path
+        ``source_vertices`` of the base tree; ``"vertices"`` — an explicit
+        (small) vertex set.
+    source_root:
+        Root of the subtree piece (``source_kind == "tree"``).
+    source_vertices:
+        Vertices of the path / explicit piece (ordered along the path for
+        ``"path"``).
+    target:
+        Ordered vertex list of the target path.  For queries against the newly
+        traversed path of ``T*`` the order is shallow → deep in ``T*``; for
+        queries against a component path ``p_c`` it is simply the path order.
+    prefer_last:
+        When True the answer is the edge whose target endpoint is nearest to
+        ``target[-1]`` (the *lowest* edge for a ``T*`` path listed shallow →
+        deep); otherwise nearest to ``target[0]``.
+    label:
+        Free-form tag used in metrics / debugging.
+    """
+
+    source_kind: str
+    target: Tuple[Vertex, ...]
+    prefer_last: bool = True
+    source_root: Optional[Vertex] = None
+    source_vertices: Tuple[Vertex, ...] = field(default_factory=tuple)
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.source_kind not in ("tree", "path", "vertices"):
+            raise ValueError(f"unknown source kind {self.source_kind!r}")
+        if self.source_kind == "tree" and self.source_root is None:
+            raise ValueError("tree queries need source_root")
+        if self.source_kind in ("path", "vertices") and not self.source_vertices:
+            raise ValueError(f"{self.source_kind} queries need source_vertices")
+        self.target = tuple(self.target)
+        self.source_vertices = tuple(self.source_vertices)
+
+    # Convenience constructors --------------------------------------------------
+    @classmethod
+    def from_tree(cls, root: Vertex, target: Sequence[Vertex], *, prefer_last: bool = True, label: str = "") -> "EdgeQuery":
+        """Query from the subtree ``T(root)`` of the base tree."""
+        return cls("tree", tuple(target), prefer_last, source_root=root, label=label)
+
+    @classmethod
+    def from_path(cls, path_vertices: Sequence[Vertex], target: Sequence[Vertex], *, prefer_last: bool = True, label: str = "") -> "EdgeQuery":
+        """Query from an ancestor–descendant path piece."""
+        return cls("path", tuple(target), prefer_last, source_vertices=tuple(path_vertices), label=label)
+
+    @classmethod
+    def from_vertices(cls, vertices: Sequence[Vertex], target: Sequence[Vertex], *, prefer_last: bool = True, label: str = "") -> "EdgeQuery":
+        """Query from an explicit vertex set (used for single vertices)."""
+        return cls("vertices", tuple(target), prefer_last, source_vertices=tuple(vertices), label=label)
+
+    def source_vertex_list(self, base_tree: DFSTree) -> List[Vertex]:
+        """Materialise the source piece as a vertex list."""
+        if self.source_kind == "tree":
+            return base_tree.subtree_vertices(self.source_root)
+        return list(self.source_vertices)
+
+    def source_size(self, base_tree: DFSTree) -> int:
+        """Number of vertices in the source piece (its processor budget)."""
+        if self.source_kind == "tree":
+            return base_tree.subtree_size(self.source_root)
+        return len(self.source_vertices)
+
+
+class QueryService:
+    """Interface: answer a batch of *independent* :class:`EdgeQuery` objects.
+
+    One call corresponds to one parallel query round / streaming pass /
+    broadcast round, depending on the environment.
+    """
+
+    def answer_batch(self, queries: Sequence[EdgeQuery]) -> List[Answer]:
+        raise NotImplementedError
+
+    def answer(self, query: EdgeQuery) -> Answer:
+        """Convenience wrapper for a single query."""
+        return self.answer_batch([query])[0]
+
+
+def _position_map(target: Sequence[Vertex]) -> Dict[Vertex, int]:
+    return {v: i for i, v in enumerate(target)}
+
+
+def _better(pos: Dict[Vertex, int], prefer_last: bool, a: Answer, b: Answer) -> Answer:
+    """Pick the answer whose target endpoint is nearer the preferred end."""
+    if a is None:
+        return b
+    if b is None:
+        return a
+    pa, pb = pos[a[1]], pos[b[1]]
+    if prefer_last:
+        return a if pa >= pb else b
+    return a if pa <= pb else b
+
+
+class BruteForceQueryService(QueryService):
+    """Oracle service: scans the adjacency of every source vertex.
+
+    Used by the tests to validate :class:`DQueryService` and the streaming /
+    distributed services; also a perfectly good (if slower) production fallback.
+    """
+
+    def __init__(self, graph: UndirectedGraph, base_tree: DFSTree, *, metrics: Optional[MetricsRecorder] = None) -> None:
+        self._graph = graph
+        self._tree = base_tree
+        self._metrics = metrics
+
+    def answer_batch(self, queries: Sequence[EdgeQuery]) -> List[Answer]:
+        if self._metrics is not None:
+            self._metrics.inc("query_batches")
+            self._metrics.inc("queries", len(queries))
+        return [self._answer_one(q) for q in queries]
+
+    def _answer_one(self, q: EdgeQuery) -> Answer:
+        pos = _position_map(q.target)
+        best: Answer = None
+        for u in q.source_vertex_list(self._tree):
+            if not self._graph.has_vertex(u):
+                continue
+            for w in self._graph.neighbors(u):
+                if w in pos:
+                    best = _better(pos, q.prefer_last, best, (u, w))
+        return best
+
+
+class DQueryService(QueryService):
+    """Answers query batches from the data structure ``D`` (Theorems 8–9).
+
+    The target path is decomposed into maximal ancestor–descendant segments of
+    ``D``'s base tree (a constant number for the fully dynamic algorithm, up to
+    ``O(log^2 n)`` per elapsed update for the fault-tolerant algorithm —
+    Theorem 9); segments are probed starting from the preferred end, and inside
+    a segment each source vertex performs one post-order range search.
+    """
+
+    def __init__(
+        self,
+        structure: "StructureD",
+        *,
+        source_tree: Optional[DFSTree] = None,
+        metrics: Optional[MetricsRecorder] = None,
+    ) -> None:
+        from repro.core.structure_d import StructureD  # local import to avoid cycle
+
+        if not isinstance(structure, StructureD):
+            raise TypeError("DQueryService requires a StructureD instance")
+        self._d = structure
+        self._tree = structure.base_tree
+        # Tree used to materialise "subtree" source pieces.  For the fully
+        # dynamic algorithm it equals D's base tree; the fault-tolerant driver
+        # passes the *current* tree T*_{i-1} while D stays built on T*_0
+        # (Theorem 9).
+        self._source_tree = source_tree if source_tree is not None else structure.base_tree
+        self._metrics = metrics
+
+    @property
+    def structure(self) -> "StructureD":
+        return self._d
+
+    def answer_batch(self, queries: Sequence[EdgeQuery]) -> List[Answer]:
+        if self._metrics is not None:
+            self._metrics.inc("query_batches")
+            self._metrics.inc("queries", len(queries))
+        return [self._answer_one(q) for q in queries]
+
+    # ------------------------------------------------------------------ #
+    def _answer_one(self, q: EdgeQuery) -> Answer:
+        tree = self._tree
+        pos = _position_map(q.target)
+
+        known = [v for v in q.target if v in tree]
+        unknown = [v for v in q.target if v not in tree]
+        segments = ancestor_descendant_segments(tree, known) if known else []
+        if self._metrics is not None:
+            self._metrics.inc("d_target_segments", max(len(segments), 1))
+            self._metrics.observe_max("d_target_segments_per_query", max(len(segments), 1))
+
+        # Probe segments starting from the preferred end of the target path.
+        ordered_segments = sorted(
+            segments,
+            key=lambda seg: pos[seg[-1]] if q.prefer_last else -pos[seg[0]],
+            reverse=True,
+        )
+
+        best: Answer = None
+        for seg in ordered_segments:
+            found = self._probe_segment(q, seg, pos)
+            best = _better(pos, q.prefer_last, best, found)
+            if found is not None:
+                break  # later segments are farther from the preferred end
+
+        # Target vertices that the base tree does not know about (vertices
+        # inserted since D was built) are handled by scanning their overlay
+        # adjacency — there are at most k of them.
+        if unknown:
+            unknown_hit = self._probe_unknown_targets(q, unknown, pos)
+            best = _better(pos, q.prefer_last, best, unknown_hit)
+        return best
+
+    def _probe_segment(self, q: EdgeQuery, seg: List[Vertex], pos: Dict[Vertex, int]) -> Answer:
+        tree = self._tree
+        seg_set = set(seg)
+        top, bottom = (seg[0], seg[-1]) if tree.level(seg[0]) <= tree.level(seg[-1]) else (seg[-1], seg[0])
+        # Inside the segment, positions on the target path are monotone, so the
+        # preferred end of the target corresponds to either the segment's top or
+        # bottom endpoint.
+        preferred_vertex = seg[-1] if q.prefer_last else seg[0]
+        prefer_bottom = preferred_vertex == bottom
+
+        def on_segment(w: Vertex) -> bool:
+            return w in seg_set
+
+        best: Answer = None
+        source_list = q.source_vertex_list(self._source_tree)
+        # Direct direction: every source vertex searches its sorted list for a
+        # neighbour on the segment (finds edges whose target endpoint is a
+        # base-tree ancestor of the source vertex — the only possibility for
+        # subtree sources in the fully dynamic setting).
+        for u in source_list:
+            w = self._d.neighbor_on_segment(u, top, bottom, prefer_bottom=prefer_bottom, on_segment=on_segment)
+            if w is not None:
+                best = _better(pos, q.prefer_last, best, (u, w))
+
+        # Reversed direction: every segment vertex searches for a neighbour on
+        # the source piece.  Needed when the source may contain base-tree
+        # *ancestors* of target vertices: always for path-piece sources, and for
+        # every source kind in the fault-tolerant setting, where pieces are
+        # subtrees/paths of the current tree T*_{i-1} rather than of D's base
+        # tree (Theorem 9).  The source is decomposed into vertical runs of the
+        # base tree so each probe stays a range search.
+        ft_mode = self._source_tree is not self._tree
+        if q.source_kind in ("path", "vertices") or ft_mode:
+            src_known = [v for v in source_list if v in tree]
+            src_set = set(source_list)
+
+            def on_source(w: Vertex) -> bool:
+                return w in src_set
+
+            src_segments = ancestor_descendant_segments(tree, src_known) if src_known else []
+            src_ranges = []
+            for s_seg in src_segments:
+                s_top, s_bottom = (
+                    (s_seg[0], s_seg[-1])
+                    if tree.level(s_seg[0]) <= tree.level(s_seg[-1])
+                    else (s_seg[-1], s_seg[0])
+                )
+                src_ranges.append((s_top, s_bottom))
+
+            iteration = reversed(seg) if preferred_vertex == seg[-1] else seg
+            for t in iteration:
+                hit = None
+                for s_top, s_bottom in src_ranges:
+                    hit = self._d.neighbor_on_segment(
+                        t, s_top, s_bottom, prefer_bottom=True, on_segment=on_source
+                    )
+                    if hit is not None:
+                        break
+                if hit is not None:
+                    best = _better(pos, q.prefer_last, best, (hit, t))
+                    break
+        return best
+
+    def _probe_unknown_targets(self, q: EdgeQuery, unknown: List[Vertex], pos: Dict[Vertex, int]) -> Answer:
+        source_set = set(q.source_vertex_list(self._source_tree))
+        ordered = sorted(unknown, key=pos.__getitem__, reverse=q.prefer_last)
+        for t in ordered:
+            for w in self._d.neighbors_of(t):
+                if w in source_set:
+                    return (w, t)
+        return None

@@ -1,0 +1,179 @@
+"""The parallel rerooting engine (Section 4, Theorems 3 and 12).
+
+The engine maintains the set of *active components* of the unvisited graph and
+repeatedly performs one traversal step on every active component.  Inside a
+round, the query batches requested by different components are merged and
+submitted together, because components of the unvisited graph are vertex
+disjoint and non-adjacent — exactly the "set of independent queries" the paper
+feeds to the data structure ``D`` in one parallel round / one streaming pass /
+one CONGEST broadcast.
+
+Metered quantities (per ``reroot_many`` call):
+
+* ``traversal_rounds`` — outer rounds (each active component advances by one
+  traversal);
+* ``query_rounds`` — merged query batches submitted to the service (the
+  quantity bounded by ``O(log^2 n)`` in Theorem 3);
+* ``queries`` / ``queries_per_round`` — total and peak batch width;
+* ``fallback_components`` — how often the correct-by-construction fallback DFS
+  had to repair an invariant violation (expected 0).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.components import Component, component_from_subtree
+from repro.core.queries import EdgeQuery, QueryService
+from repro.core.reduction import RerootTask
+from repro.core.traversals import StepResult, TraversalPlanner
+from repro.exceptions import InvariantViolation
+from repro.metrics.counters import MetricsRecorder
+from repro.tree.dfs_tree import DFSTree
+
+Vertex = Hashable
+ParentAssignment = Dict[Vertex, Vertex]
+
+
+class ParallelRerootEngine:
+    """Reroots disjoint subtrees of a DFS tree in phased parallel rounds.
+
+    Parameters
+    ----------
+    tree:
+        The current DFS tree ``T`` (base tree of all pieces).
+    service:
+        The :class:`~repro.core.queries.QueryService` answering edge queries
+        (``D``, a streaming pass, or a CONGEST broadcast).
+    adjacency:
+        ``vertex -> iterable of neighbours``; required for the fallback
+        component DFS (drivers pass the graph's adjacency).
+    validate:
+        Raise :class:`InvariantViolation` on invariant failures instead of
+        silently repairing them (tests enable this).
+    enable_heavy / enable_path_halving:
+        Ablation switches, see benchmark E8.
+    """
+
+    def __init__(
+        self,
+        tree: DFSTree,
+        service: QueryService,
+        *,
+        adjacency: Optional[Callable[[Vertex], Iterable[Vertex]]] = None,
+        metrics: Optional[MetricsRecorder] = None,
+        validate: bool = False,
+        enable_heavy: bool = True,
+        enable_path_halving: bool = True,
+    ) -> None:
+        self.tree = tree
+        self.service = service
+        self.metrics = metrics or MetricsRecorder("parallel_reroot")
+        self.validate = validate
+        self.planner = TraversalPlanner(
+            tree,
+            metrics=self.metrics,
+            validate=validate,
+            adjacency=adjacency,
+            enable_heavy=enable_heavy,
+            enable_path_halving=enable_path_halving,
+        )
+
+    # ------------------------------------------------------------------ #
+    def reroot(self, task: RerootTask) -> ParentAssignment:
+        """Reroot a single subtree (Theorem 3)."""
+        return self.reroot_many([task])
+
+    def reroot_many(self, tasks: Sequence[RerootTask]) -> ParentAssignment:
+        """Reroot all *tasks* (disjoint subtrees) and return the new parents of
+        every vertex they cover."""
+        result: ParentAssignment = {}
+        active: List[Component] = []
+        for t in tasks:
+            comp = component_from_subtree(self.tree, t.subtree_root, t.new_root, t.attach)
+            active.append(comp)
+        if not active:
+            return result
+
+        total_size = sum(c.size(self.tree) for c in active)
+        logn = max(total_size, 2).bit_length()
+        generation_guard = 4 * logn * logn + 64
+        round_guard = 8 * total_size + 64
+
+        rounds = 0
+        while active:
+            rounds += 1
+            self.metrics.inc("traversal_rounds")
+            self.metrics.observe_max("active_components", len(active))
+            if rounds > round_guard:
+                raise InvariantViolation("parallel rerooting did not terminate")
+
+            for comp in active:
+                if comp.phase > generation_guard and not comp.irregular:
+                    comp.irregular = True
+                    self.metrics.inc("loop_guard_triggers")
+
+            finished: List[Tuple[Component, StepResult]] = []
+            runners: List[List[object]] = []
+            for comp in active:
+                gen = self.planner.step(comp)
+                try:
+                    batch = next(gen)
+                    runners.append([comp, gen, batch])
+                except StopIteration as stop:
+                    finished.append((comp, stop.value))
+
+            # Lock-step sub-rounds: merge the current batch of every runner into
+            # one independent batch for the service.
+            while runners:
+                merged: List[EdgeQuery] = []
+                slices: List[Tuple[int, int]] = []
+                for entry in runners:
+                    batch = entry[2]  # type: ignore[index]
+                    slices.append((len(merged), len(merged) + len(batch)))
+                    merged.extend(batch)  # type: ignore[arg-type]
+                if merged:
+                    self.metrics.inc("query_rounds")
+                    self.metrics.observe_max("queries_per_round", len(merged))
+                    answers = self.service.answer_batch(merged)
+                else:
+                    answers = []
+                next_runners: List[List[object]] = []
+                for entry, (lo, hi) in zip(runners, slices):
+                    comp, gen, _batch = entry
+                    try:
+                        new_batch = gen.send(list(answers[lo:hi]))
+                        next_runners.append([comp, gen, new_batch])
+                    except StopIteration as stop:
+                        finished.append((comp, stop.value))  # type: ignore[arg-type]
+                runners = next_runners
+
+            active = self._integrate(finished, result)
+        return result
+
+    # ------------------------------------------------------------------ #
+    def _integrate(
+        self,
+        finished: List[Tuple[Component, StepResult]],
+        result: ParentAssignment,
+    ) -> List[Component]:
+        """Write the traversed paths into the result and collect new components."""
+        next_active: List[Component] = []
+        for comp, step in finished:
+            if step.used_fallback or step.direct_parents:
+                for v, p in step.direct_parents.items():
+                    result[v] = p
+                root_v = step.pstar[0] if step.pstar else comp.rc
+                if root_v is not None:
+                    result[root_v] = comp.attach
+                self.metrics.inc("vertices_added", len(step.pstar))
+                continue
+            prev = comp.attach
+            for v in step.pstar:
+                result[v] = prev
+                prev = v
+            self.metrics.inc("vertices_added", len(step.pstar))
+            for nc in step.new_components:
+                nc.phase = comp.phase + 1
+                next_active.append(nc)
+        return next_active

@@ -1,0 +1,323 @@
+"""The data structure ``D`` (Section 5.2 of the paper, Theorems 8–9).
+
+``D`` is deliberately simple: for every vertex ``v`` it stores the neighbours of
+``v`` sorted by their post-order number in the base DFS tree ``T``.  Because a
+DFS tree of an undirected graph has no cross edges, a neighbour of ``v`` with a
+*larger* post-order number than ``v`` is necessarily an ancestor of ``v``, and
+the ancestors of ``v`` appear in the sorted list in root-to-``v`` order.  A
+query "among all edges from ``v`` incident on the ancestor–descendant path
+``path(x, y)``, return the edge incident nearest to ``x``" therefore reduces to
+a binary search for a post-order range followed by picking one end of the range.
+
+The structure also supports the *multi-update extension* of Theorem 9: after the
+graph has been modified by up to ``k`` updates, queries are still answered from
+the original sorted lists plus small per-vertex overlays (inserted edges,
+deleted edges, deleted vertices), at an extra ``O(k)`` cost per query — the
+original lists are never rebuilt.  This is what the fault-tolerant driver uses.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+
+from repro.exceptions import VertexNotFound
+from repro.graph.graph import UndirectedGraph
+from repro.metrics.counters import MetricsRecorder
+from repro.tree.dfs_tree import DFSTree
+
+Vertex = Hashable
+
+
+class StructureD:
+    """Per-vertex adjacency lists sorted by post-order number of the base tree.
+
+    Parameters
+    ----------
+    graph:
+        The graph whose edges the structure indexes.
+    tree:
+        The base DFS tree ``T`` the post-order numbers come from.  Vertices of
+        *graph* that are missing from *tree* (possible only through overlays)
+        are not indexed.
+    metrics:
+        Optional recorder; the build cost and per-query probe counts are
+        reported under ``d_*`` counters.
+
+    Notes
+    -----
+    The structure never mutates the graph; overlays (:meth:`note_edge_inserted`
+    etc.) only affect how queries are answered, mirroring the paper's use of the
+    *original* ``D`` to answer queries about the updated graph.
+    """
+
+    def __init__(
+        self,
+        graph: UndirectedGraph,
+        tree: DFSTree,
+        *,
+        metrics: Optional[MetricsRecorder] = None,
+    ) -> None:
+        self._graph = graph
+        self._tree = tree
+        self._metrics = metrics
+        self._post: Dict[Vertex, int] = {}
+        self._sorted_posts: Dict[Vertex, List[int]] = {}
+        self._sorted_nbrs: Dict[Vertex, List[Vertex]] = {}
+        # Overlays for the multi-update extension (Theorem 9).
+        self._extra_edges: Dict[Vertex, List[Vertex]] = {}
+        self._deleted_edges: Set[frozenset] = set()
+        self._deleted_vertices: Set[Vertex] = set()
+        self._next_virtual_post = tree.num_vertices  # inserted vertices go last
+        self._build()
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def _build(self) -> None:
+        tree = self._tree
+        post = {v: tree.postorder(v) for v in tree.vertices()}
+        self._post = post
+        total_work = 0
+        for v in self._graph.vertices():
+            if v not in post:
+                continue
+            nbrs = [w for w in self._graph.neighbors(v) if w in post]
+            nbrs.sort(key=post.__getitem__)
+            self._sorted_nbrs[v] = nbrs
+            self._sorted_posts[v] = [post[w] for w in nbrs]
+            total_work += max(len(nbrs), 1)
+        if self._metrics is not None:
+            self._metrics.inc("d_builds")
+            self._metrics.inc("d_build_work", total_work)
+
+    @property
+    def base_tree(self) -> DFSTree:
+        """The DFS tree whose post-order numbers index the structure."""
+        return self._tree
+
+    @property
+    def graph(self) -> UndirectedGraph:
+        """The graph the structure was built on."""
+        return self._graph
+
+    def size(self) -> int:
+        """Total number of indexed adjacency entries (``O(m)``)."""
+        return sum(len(lst) for lst in self._sorted_nbrs.values())
+
+    def postorder(self, v: Vertex) -> int:
+        """Post-order number of *v* (inserted vertices get fresh, maximal numbers)."""
+        try:
+            return self._post[v]
+        except KeyError:
+            raise VertexNotFound(v) from None
+
+    # ------------------------------------------------------------------ #
+    # Overlays (Theorem 9: reuse D across up to k updates)
+    # ------------------------------------------------------------------ #
+    def note_edge_inserted(self, u: Vertex, v: Vertex) -> None:
+        """Record the insertion of edge ``(u, v)`` without rebuilding the lists."""
+        key = frozenset((u, v))
+        self._deleted_edges.discard(key)
+        self._extra_edges.setdefault(u, []).append(v)
+        self._extra_edges.setdefault(v, []).append(u)
+
+    def note_edge_deleted(self, u: Vertex, v: Vertex) -> None:
+        """Record the deletion of edge ``(u, v)``.
+
+        The edge may live in the base sorted lists, in the overlay lists (e.g.
+        the adjacency of a vertex inserted after preprocessing), or in both; the
+        overlay entries are dropped and the edge is masked for the base lists.
+        """
+        extra_u = self._extra_edges.get(u)
+        if extra_u and v in extra_u:
+            extra_u.remove(v)
+        extra_v = self._extra_edges.get(v)
+        if extra_v and u in extra_v:
+            extra_v.remove(u)
+        self._deleted_edges.add(frozenset((u, v)))
+
+    def note_vertex_inserted(self, v: Vertex, neighbors: Iterable[Vertex]) -> None:
+        """Record the insertion of vertex *v* with the given incident edges.
+
+        As in the paper, the new vertex receives a post-order number larger than
+        every existing one and is appended (via the overlay) to its neighbours'
+        lists; its own list is sorted by post-order so range queries from *v*
+        keep their logarithmic cost.
+        """
+        self._post[v] = self._next_virtual_post
+        self._next_virtual_post += 1
+        nbrs = [w for w in neighbors if w in self._post]
+        nbrs.sort(key=self._post.__getitem__)
+        self._sorted_nbrs[v] = nbrs
+        self._sorted_posts[v] = [self._post[w] for w in nbrs]
+        for w in nbrs:
+            self._extra_edges.setdefault(w, []).append(v)
+        self._deleted_vertices.discard(v)
+
+    def note_vertex_deleted(self, v: Vertex) -> None:
+        """Record the deletion of vertex *v* (its stale entries are masked)."""
+        self._deleted_vertices.add(v)
+
+    def reset_overlays(self) -> None:
+        """Forget every overlay (used by the fault-tolerant driver between
+        independent batches of updates, which always start from the original
+        graph again)."""
+        self._extra_edges.clear()
+        self._deleted_edges.clear()
+        self._deleted_vertices.clear()
+        # Drop sorted lists of vertices that only exist through overlays.
+        for v in [v for v in self._sorted_nbrs if v not in self._tree and not self._graph.has_vertex(v)]:
+            self._sorted_nbrs.pop(v, None)
+            self._sorted_posts.pop(v, None)
+            self._post.pop(v, None)
+        self._next_virtual_post = self._tree.num_vertices
+
+    def overlay_size(self) -> int:
+        """Number of overlay entries currently masking / extending the base lists."""
+        return (
+            sum(len(lst) for lst in self._extra_edges.values())
+            + len(self._deleted_edges)
+            + len(self._deleted_vertices)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def _edge_alive(self, u: Vertex, w: Vertex) -> bool:
+        if w in self._deleted_vertices or u in self._deleted_vertices:
+            return False
+        return frozenset((u, w)) not in self._deleted_edges
+
+    def neighbor_on_segment(
+        self,
+        u: Vertex,
+        top: Vertex,
+        bottom: Vertex,
+        *,
+        prefer_bottom: bool,
+        on_segment=None,
+    ) -> Optional[Vertex]:
+        """Neighbour of *u* lying on the ancestor–descendant segment ``top..bottom``.
+
+        *top* must be an ancestor of *bottom* in the base tree.  Returns the
+        neighbour nearest to *bottom* (``prefer_bottom=True``) or nearest to
+        *top*, or ``None`` when no edge from *u* reaches the segment.
+
+        Precondition (matching the paper's query types): the base lists can only
+        report neighbours that are base-tree *ancestors* of ``u`` (plus overlay
+        edges); neighbours that are descendants of ``u`` on the segment are the
+        querying side's responsibility (the query service runs the role-reversed
+        search in exactly those situations).
+
+        ``on_segment(w)`` may be supplied to verify candidates (used when the
+        overlay contains edges that are cross edges w.r.t. the base tree); by
+        default membership is decided by the base tree's ancestor intervals.
+        """
+        tree = self._tree
+        if on_segment is None:
+            endpoints_known = top in tree and bottom in tree
+
+            def on_segment(w: Vertex) -> bool:
+                if not endpoints_known or w not in tree:
+                    return w == top or w == bottom
+                return tree.is_ancestor(top, w) and tree.is_ancestor(w, bottom)
+
+        best: Optional[Vertex] = None
+        best_level = None
+        probes = 0
+
+        if u in self._sorted_posts:
+            if u in tree and top in tree and bottom in tree:
+                # The ancestors of u on the segment occupy the post-order range
+                # [post(lca(u, bottom)), post(top)] — see the module docstring.
+                if tree.is_ancestor(top, u):
+                    low_anchor = tree.lca(u, bottom)
+                    lo = self._post[low_anchor]
+                    hi = self._post[top]
+                    posts = self._sorted_posts[u]
+                    nbrs = self._sorted_nbrs[u]
+                    left = bisect_left(posts, lo)
+                    right = bisect_right(posts, hi)
+                    indices = range(left, right) if prefer_bottom else range(right - 1, left - 1, -1)
+                    for i in indices:
+                        probes += 1
+                        w = nbrs[i]
+                        if not self._edge_alive(u, w):
+                            continue
+                        if on_segment(w):
+                            best = w
+                            break
+            else:
+                # u was inserted after the base tree was built (Theorem 9
+                # overlay): its sorted list is small (k updates) or freshly
+                # sorted; scan it and keep the candidate nearest the preferred
+                # end of the segment.
+                for w in self._sorted_nbrs[u]:
+                    probes += 1
+                    if not self._edge_alive(u, w) or not on_segment(w):
+                        continue
+                    w_level = self._segment_depth(w)
+                    if best is None:
+                        best, best_level = w, w_level
+                    elif (prefer_bottom and w_level > best_level) or (
+                        not prefer_bottom and w_level < best_level
+                    ):
+                        best, best_level = w, w_level
+
+        # Overlay edges (few per vertex; linear scan as in Theorem 9).
+        for w in self._extra_edges.get(u, ()):  # pragma: no branch
+            probes += 1
+            if not self._edge_alive(u, w):
+                continue
+            if not on_segment(w):
+                continue
+            if best is None:
+                best = w
+                best_level = self._segment_depth(w)
+                continue
+            if best_level is None:
+                best_level = self._segment_depth(best)
+            w_level = self._segment_depth(w)
+            if (prefer_bottom and w_level > best_level) or (not prefer_bottom and w_level < best_level):
+                best = w
+                best_level = w_level
+        if self._metrics is not None:
+            self._metrics.inc("d_vertex_queries")
+            self._metrics.inc("d_probes", max(probes, 1))
+        return best
+
+    def _segment_depth(self, w: Vertex) -> int:
+        try:
+            return self._tree.level(w)
+        except Exception:  # vertex inserted after the base tree was built
+            return 1 << 30
+
+    def neighbors_of(self, u: Vertex) -> List[Vertex]:
+        """All currently-alive neighbours of *u* according to the structure."""
+        out = []
+        for w in self._sorted_nbrs.get(u, []):
+            if self._edge_alive(u, w):
+                out.append(w)
+        for w in self._extra_edges.get(u, ()):  # inserted edges
+            if self._edge_alive(u, w):
+                out.append(w)
+        return out
+
+    def has_alive_edge(self, u: Vertex, w: Vertex) -> bool:
+        """True iff the edge ``(u, w)`` exists after applying the overlays."""
+        if not self._edge_alive(u, w):
+            return False
+        if w in self._extra_edges.get(u, ()):
+            return True
+        posts = self._sorted_posts.get(u)
+        if posts is None or w not in self._post:
+            return False
+        p = self._post[w]
+        i = bisect_left(posts, p)
+        nbrs = self._sorted_nbrs[u]
+        while i < len(posts) and posts[i] == p:
+            if nbrs[i] == w:
+                return True
+            i += 1
+        return False

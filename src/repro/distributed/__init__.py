@@ -1,0 +1,12 @@
+"""Distributed (synchronous CONGEST) environment — Theorem 16."""
+
+from repro.distributed.network import CongestNetwork
+from repro.distributed.distributed_dfs import DistributedDynamicDFS, DistributedQueryService
+from repro.distributed.forest import articulation_points_and_bridges
+
+__all__ = [
+    "CongestNetwork",
+    "DistributedDynamicDFS",
+    "DistributedQueryService",
+    "articulation_points_and_bridges",
+]

@@ -1,0 +1,256 @@
+"""Distributed fully dynamic DFS in synchronous CONGEST(n/D) (Theorem 16).
+
+Model (Section 6.2 of the paper): one processor per graph vertex, communication
+only along graph edges, messages of at most ``B = ceil(n/D)`` words per edge per
+round, ``O(n)`` memory per node.  Every node stores the current DFS tree ``T``
+and its own adjacency list; tree operations are therefore local, and the only
+distributed computation is answering the rerooting engine's query batches:
+
+1. after every update a BFS tree is rebuilt from a deterministic initiator
+   (``O(D)`` rounds, ``O(m)`` messages);
+2. the update itself (up to ``O(n)`` words for a vertex insertion) is
+   disseminated with a pipelined broadcast;
+3. each batch of ``q ≤ n`` independent queries is answered by a pipelined
+   convergecast of the per-node partial answers followed by a broadcast of the
+   combined answers (``O(D + q/B)`` rounds);
+4. after the tree is updated, the articulation points/bridges summary is
+   re-broadcast so future deletions can pick broadcast initiators locally.
+
+The driver reports rounds, messages and maximum message size per update so
+benchmark E4 can check the ``O(D log^2 n)`` rounds / ``O(nD log^2 n + m)``
+messages / ``O(n/D)`` message-size claims.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence
+
+from repro.constants import VIRTUAL_ROOT
+from repro.core.queries import Answer, BruteForceQueryService, EdgeQuery, QueryService
+from repro.core.reduction import reduce_update
+from repro.core.reroot_parallel import ParallelRerootEngine
+from repro.core.updates import (
+    EdgeDeletion,
+    EdgeInsertion,
+    Update,
+    VertexDeletion,
+    VertexInsertion,
+)
+from repro.distributed.forest import articulation_points_and_bridges
+from repro.distributed.network import CongestNetwork, recommended_bandwidth
+from repro.exceptions import NotADFSTree, UpdateError
+from repro.graph.graph import UndirectedGraph
+from repro.graph.traversal import static_dfs_forest
+from repro.graph.validation import check_dfs_tree
+from repro.metrics.counters import MetricsRecorder
+from repro.tree.dfs_tree import DFSTree
+
+Vertex = Hashable
+
+
+class DistributedQueryService(QueryService):
+    """Answers query batches with one convergecast + broadcast over the network.
+
+    Every node evaluates, from its *local adjacency list only*, the best
+    candidate edge for each query in which one of its vertices is a source;
+    the per-query partial answers (one word each) are then combined up the BFS
+    tree and redistributed.  The local evaluation reuses
+    :class:`BruteForceQueryService`, which scans exactly the per-node adjacency
+    lists — the same work each node would do on its own.
+    """
+
+    def __init__(
+        self,
+        network: CongestNetwork,
+        graph: UndirectedGraph,
+        base_tree: DFSTree,
+        bfs_parent: Dict[Vertex, Optional[Vertex]],
+        bfs_depth: Dict[Vertex, int],
+        *,
+        metrics: Optional[MetricsRecorder] = None,
+    ) -> None:
+        self._network = network
+        self._local = BruteForceQueryService(graph, base_tree, metrics=None)
+        self._bfs_parent = bfs_parent
+        self._bfs_depth = bfs_depth
+        self._metrics = metrics
+
+    def answer_batch(self, queries: Sequence[EdgeQuery]) -> List[Answer]:
+        if self._metrics is not None:
+            self._metrics.inc("query_batches")
+            self._metrics.inc("queries", len(queries))
+        if not queries:
+            return []
+        answers = self._local.answer_batch(queries)
+        # One word of partial answer per query travels up and back down.
+        self._network.aggregate_query_round(self._bfs_parent, self._bfs_depth, len(queries))
+        return answers
+
+
+class DistributedDynamicDFS:
+    """Maintain a DFS forest in the CONGEST(n/D) model."""
+
+    def __init__(
+        self,
+        graph: UndirectedGraph,
+        *,
+        bandwidth_words: Optional[int] = None,
+        validate: bool = False,
+        metrics: Optional[MetricsRecorder] = None,
+    ) -> None:
+        if graph.num_vertices == 0:
+            raise ValueError("the distributed model needs at least one node")
+        self.metrics = metrics or MetricsRecorder("distributed_dfs")
+        self._validate = validate
+        self._graph = graph.copy()
+        root = next(iter(self._graph.vertices()))
+        self.diameter, auto_bandwidth = recommended_bandwidth(self._graph, root)
+        self.bandwidth = bandwidth_words if bandwidth_words is not None else auto_bandwidth
+        self.network = CongestNetwork(self._graph, self.bandwidth, metrics=self.metrics)
+        with self.metrics.timer("initial_dfs"):
+            parent = static_dfs_forest(self._graph)
+        self._tree = DFSTree(parent, root=VIRTUAL_ROOT)
+        self._refresh_forest_summary(initial=True)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def tree(self) -> DFSTree:
+        """The DFS forest currently stored at every node."""
+        return self._tree
+
+    @property
+    def graph(self) -> UndirectedGraph:
+        return self._graph
+
+    def is_valid(self) -> bool:
+        """Validate the maintained forest."""
+        return not check_dfs_tree(self._graph, self._tree.parent_map())
+
+    def rounds(self) -> int:
+        """Total CONGEST rounds so far."""
+        return self.network.rounds
+
+    def messages(self) -> int:
+        """Total CONGEST messages so far."""
+        return self.network.messages
+
+    # ------------------------------------------------------------------ #
+    def insert_edge(self, u: Vertex, v: Vertex) -> DFSTree:
+        return self.apply(EdgeInsertion(u, v))
+
+    def delete_edge(self, u: Vertex, v: Vertex) -> DFSTree:
+        return self.apply(EdgeDeletion(u, v))
+
+    def insert_vertex(self, v: Vertex, neighbors: Iterable[Vertex] = ()) -> DFSTree:
+        return self.apply(VertexInsertion(v, tuple(neighbors)))
+
+    def delete_vertex(self, v: Vertex) -> DFSTree:
+        return self.apply(VertexDeletion(v))
+
+    def apply_all(self, updates: Sequence[Update]) -> DFSTree:
+        for upd in updates:
+            self.apply(upd)
+        return self._tree
+
+    def apply(self, update: Update) -> DFSTree:
+        """Apply one update (update stage) and repair the tree (recovery stage)."""
+        self.metrics.inc("updates")
+        rounds_before = self.network.rounds
+        messages_before = self.network.messages
+
+        update_words = self._mutate(update)
+        initiator = self._broadcast_initiator(update)
+
+        # Recovery stage: rebuild the BFS (broadcast) tree from the initiator,
+        # then disseminate the update itself.
+        if self._graph.num_vertices:
+            bfs_parent, bfs_depth = self.network.build_bfs_tree(initiator)
+            self.network.pipelined_broadcast(bfs_parent, bfs_depth, update_words)
+        else:
+            bfs_parent, bfs_depth = {initiator: None}, {initiator: 0}
+
+        service = DistributedQueryService(
+            self.network, self._graph, self._tree, bfs_parent, bfs_depth, metrics=self.metrics
+        )
+        reduction = reduce_update(update, self._tree, service, metrics=self.metrics)
+        new_parent = self._tree.parent_map()
+        for v in reduction.removed_vertices:
+            new_parent.pop(v, None)
+        new_parent.update(reduction.parent_overrides)
+        if reduction.tasks:
+            engine = ParallelRerootEngine(
+                self._tree,
+                service,
+                adjacency=self._graph.neighbor_list,
+                metrics=self.metrics,
+                validate=self._validate,
+            )
+            new_parent.update(engine.reroot_many(reduction.tasks))
+        self._tree = DFSTree(new_parent, root=VIRTUAL_ROOT)
+
+        # Re-disseminate the forest summary (articulation points / bridges),
+        # an O(n)-word broadcast, so the next deletion can be handled locally.
+        self._refresh_forest_summary(bfs=(bfs_parent, bfs_depth))
+
+        self.metrics.observe_max("rounds_per_update", self.network.rounds - rounds_before)
+        self.metrics.observe_max("messages_per_update", self.network.messages - messages_before)
+        if self._validate:
+            problems = check_dfs_tree(self._graph, self._tree.parent_map())
+            if problems:
+                raise NotADFSTree("; ".join(problems[:5]))
+        return self._tree
+
+    # ------------------------------------------------------------------ #
+    def _mutate(self, update: Update) -> int:
+        """Apply the update to the graph; return its description size in words."""
+        if isinstance(update, EdgeInsertion):
+            self._graph.add_edge(update.u, update.v)
+            return 2
+        if isinstance(update, EdgeDeletion):
+            self._graph.remove_edge(update.u, update.v)
+            return 2
+        if isinstance(update, VertexInsertion):
+            self._graph.add_vertex_with_edges(update.v, update.neighbors)
+            return 1 + len(update.neighbors)
+        if isinstance(update, VertexDeletion):
+            degree = self._graph.degree(update.v)
+            self._graph.remove_vertex(update.v)
+            return 1 + degree
+        raise UpdateError(f"unknown update type {update!r}")
+
+    def _broadcast_initiator(self, update: Update) -> Vertex:
+        """The unique node that initiates the recovery broadcast (Section 6.2)."""
+        candidates: List[Vertex]
+        if isinstance(update, (EdgeInsertion, EdgeDeletion)):
+            candidates = [v for v in (update.u, update.v) if self._graph.has_vertex(v)]
+        elif isinstance(update, VertexInsertion):
+            candidates = [update.v]
+        else:  # vertex deletion: a surviving neighbour in the old tree
+            old_neighbors = [
+                w
+                for w in list(self._tree.children(update.v)) + [self._tree.parent(update.v)]
+                if w is not None and self._graph.has_vertex(w) and w != VIRTUAL_ROOT
+            ]
+            candidates = old_neighbors or [v for v in self._graph.vertices()]
+        if not candidates:
+            candidates = list(self._graph.vertices()) or [VIRTUAL_ROOT]
+        return min(candidates, key=lambda x: str(x))
+
+    def _refresh_forest_summary(self, *, initial: bool = False, bfs=None) -> None:
+        self._articulation, self._bridges = articulation_points_and_bridges(self._graph)
+        if initial or bfs is None or self._graph.num_vertices <= 1:
+            return
+        bfs_parent, bfs_depth = bfs
+        summary_words = max(len(self._articulation) + len(self._bridges), 1)
+        self.network.pipelined_broadcast(bfs_parent, bfs_depth, min(summary_words, self._graph.num_vertices))
+
+    # ------------------------------------------------------------------ #
+    @property
+    def articulation_points(self):
+        """Articulation points of the current graph (stored at every node)."""
+        return set(self._articulation)
+
+    @property
+    def bridges(self):
+        """Bridges of the current graph (stored at every node)."""
+        return set(self._bridges)

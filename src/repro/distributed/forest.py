@@ -1,0 +1,103 @@
+"""DFS-forest maintenance helpers for the distributed setting (Section 6.2).
+
+After a deletion, each neighbour of the failed link/vertex must decide locally
+whether its component split, which the paper does by having every node know the
+articulation points and bridges of the current graph.  The computation itself
+is the classical low-link DFS; in the distributed simulation its result is
+disseminated with one ``O(n)``-word pipelined broadcast, which the driver
+accounts for.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Set, Tuple
+
+from repro.graph.graph import UndirectedGraph
+
+Vertex = Hashable
+
+
+def articulation_points_and_bridges(graph: UndirectedGraph) -> Tuple[Set[Vertex], Set[frozenset]]:
+    """Return ``(articulation_points, bridges)`` of *graph* (iterative Tarjan).
+
+    Works on disconnected graphs; isolated vertices are never articulation
+    points.
+    """
+    visited: Set[Vertex] = set()
+    disc: Dict[Vertex, int] = {}
+    low: Dict[Vertex, int] = {}
+    parent: Dict[Vertex, Vertex] = {}
+    articulation: Set[Vertex] = set()
+    bridges: Set[frozenset] = set()
+    timer = 0
+
+    for start in graph.vertices():
+        if start in visited:
+            continue
+        root_children = 0
+        stack: List[Tuple[Vertex, object]] = [(start, iter(graph.neighbor_list(start)))]
+        visited.add(start)
+        disc[start] = low[start] = timer
+        timer += 1
+        while stack:
+            v, it = stack[-1]
+            advanced = False
+            for w in it:
+                if w not in visited:
+                    visited.add(w)
+                    parent[w] = v
+                    disc[w] = low[w] = timer
+                    timer += 1
+                    if v == start:
+                        root_children += 1
+                    stack.append((w, iter(graph.neighbor_list(w))))
+                    advanced = True
+                    break
+                elif w != parent.get(v):
+                    low[v] = min(low[v], disc[w])
+            if not advanced:
+                stack.pop()
+                if stack:
+                    p = stack[-1][0]
+                    low[p] = min(low[p], low[v])
+                    if low[v] >= disc[p] and p != start:
+                        articulation.add(p)
+                    if low[v] > disc[p]:
+                        bridges.add(frozenset((p, v)))
+        if root_children > 1:
+            articulation.add(start)
+    return articulation, bridges
+
+
+def components_after_vertex_removal(graph: UndirectedGraph, v: Vertex) -> List[List[Vertex]]:
+    """Connected components of ``graph - v`` among the former neighbours of *v*.
+
+    Each returned list contains the neighbours of *v* that end up in the same
+    component; the paper uses this to pick exactly one broadcast initiator per
+    new component after a vertex failure.
+    """
+    neighbors = set(graph.neighbor_list(v))
+    remaining = [w for w in graph.vertices() if w != v]
+    sub = graph.subgraph(remaining)
+    groups: List[List[Vertex]] = []
+    seen: Set[Vertex] = set()
+    for nb in neighbors:
+        if nb in seen:
+            continue
+        comp: List[Vertex] = []
+        frontier = [nb]
+        seen.add(nb)
+        comp_set = {nb}
+        while frontier:
+            nxt = []
+            for x in frontier:
+                for y in sub.neighbors(x):
+                    if y not in comp_set:
+                        comp_set.add(y)
+                        if y in neighbors:
+                            seen.add(y)
+                        nxt.append(y)
+            frontier = nxt
+        comp = [w for w in neighbors if w in comp_set]
+        groups.append(comp)
+    return groups

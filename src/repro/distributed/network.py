@@ -1,0 +1,196 @@
+"""Synchronous CONGEST(B) network simulator (Section 6.2).
+
+A :class:`CongestNetwork` has one node per graph vertex; communication happens
+in synchronous rounds, and in each round a node may send at most ``B`` *words*
+along each incident edge.  The simulator meters
+
+* ``rounds`` — synchronous rounds elapsed,
+* ``messages`` — messages sent (one message = one (edge, round) transmission),
+* ``max_message_words`` — the largest message, which must stay within ``B``.
+
+Three building blocks used by the distributed dynamic-DFS algorithm are
+implemented on top of the raw round mechanics:
+
+* :meth:`build_bfs_tree` — flooding BFS from a chosen root (``O(D)`` rounds,
+  ``O(m)`` messages), the broadcast tree of the paper;
+* :meth:`pipelined_broadcast` — send ``k`` words from the root to every node
+  along the BFS tree in ``O(depth + k / B)`` rounds (standard pipelining);
+* :meth:`pipelined_convergecast` — combine per-node ``k``-word vectors upward
+  to the root with the same pipelining bound.
+
+The per-round, per-edge budget is enforced: exceeding it raises
+:class:`~repro.exceptions.DistributedError`, so the CONGEST(n/D) message-size
+claim of Theorem 16 is *checked*, not assumed.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import DistributedError
+from repro.graph.graph import UndirectedGraph
+from repro.graph.traversal import bfs_tree
+from repro.metrics.counters import MetricsRecorder
+
+Vertex = Hashable
+
+
+class CongestNetwork:
+    """A synchronous message-passing network over the edges of *graph*."""
+
+    def __init__(
+        self,
+        graph: UndirectedGraph,
+        bandwidth_words: int,
+        *,
+        metrics: Optional[MetricsRecorder] = None,
+    ) -> None:
+        if bandwidth_words < 1:
+            raise DistributedError("bandwidth must be at least one word")
+        self._graph = graph
+        self.bandwidth = bandwidth_words
+        self.metrics = metrics or MetricsRecorder("congest")
+        self.rounds = 0
+        self.messages = 0
+        self.max_message_words = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def graph(self) -> UndirectedGraph:
+        return self._graph
+
+    def _charge_round(self, transmissions: Iterable[int]) -> None:
+        """Account one synchronous round with the given per-message word counts."""
+        self.rounds += 1
+        self.metrics.inc("congest_rounds")
+        for words in transmissions:
+            if words > self.bandwidth:
+                raise DistributedError(
+                    f"message of {words} words exceeds the CONGEST budget of {self.bandwidth}"
+                )
+            self.messages += 1
+            self.metrics.inc("congest_messages")
+            self.max_message_words = max(self.max_message_words, words)
+            self.metrics.observe_max("congest_max_message_words", words)
+
+    # ------------------------------------------------------------------ #
+    def build_bfs_tree(self, root: Vertex) -> Tuple[Dict[Vertex, Optional[Vertex]], Dict[Vertex, int]]:
+        """Flooding BFS from *root*: each frontier node notifies its neighbours.
+
+        Returns ``(parent, depth)`` for the component of *root*.  Costs one
+        round per BFS level and one single-word message per explored edge
+        direction — ``O(D)`` rounds, ``O(m)`` messages.
+        """
+        parent: Dict[Vertex, Optional[Vertex]] = {root: None}
+        depth: Dict[Vertex, int] = {root: 0}
+        frontier: List[Vertex] = [root]
+        while frontier:
+            transmissions: List[int] = []
+            nxt: List[Vertex] = []
+            for v in frontier:
+                for w in self._graph.neighbors(v):
+                    transmissions.append(1)
+                    if w not in parent:
+                        parent[w] = v
+                        depth[w] = depth[v] + 1
+                        nxt.append(w)
+            self._charge_round(transmissions)
+            frontier = nxt
+        return parent, depth
+
+    # ------------------------------------------------------------------ #
+    def pipelined_broadcast(
+        self,
+        bfs_parent: Dict[Vertex, Optional[Vertex]],
+        bfs_depth: Dict[Vertex, int],
+        payload_words: int,
+    ) -> None:
+        """Broadcast *payload_words* words from the BFS root to every node.
+
+        The payload is split into ``ceil(words / B)`` chunks, sent down the BFS
+        tree in a pipeline: a node forwards chunk ``i`` to its children one
+        round after receiving it.  Simulated chunk by chunk, round by round.
+        """
+        if payload_words <= 0 or len(bfs_parent) <= 1:
+            return
+        children: Dict[Vertex, List[Vertex]] = {v: [] for v in bfs_parent}
+        for v, p in bfs_parent.items():
+            if p is not None:
+                children[p].append(v)
+        chunks = math.ceil(payload_words / self.bandwidth)
+        last_chunk_words = payload_words - (chunks - 1) * self.bandwidth
+        depth = max(bfs_depth.values())
+        # In the pipelined schedule, in round r (1-based) the edges at tree
+        # level l forward chunk r - l (if it exists).
+        total_rounds = depth + chunks - 1
+        edges_at_level: Dict[int, int] = {}
+        for v, p in bfs_parent.items():
+            if p is not None:
+                lvl = bfs_depth[v]
+                edges_at_level[lvl] = edges_at_level.get(lvl, 0) + 1
+        for r in range(1, total_rounds + 1):
+            transmissions: List[int] = []
+            for lvl, count in edges_at_level.items():
+                chunk_index = r - lvl
+                if 1 <= chunk_index <= chunks:
+                    words = self.bandwidth if chunk_index < chunks else last_chunk_words
+                    transmissions.extend([words] * count)
+            self._charge_round(transmissions)
+
+    def pipelined_convergecast(
+        self,
+        bfs_parent: Dict[Vertex, Optional[Vertex]],
+        bfs_depth: Dict[Vertex, int],
+        payload_words: int,
+    ) -> None:
+        """Combine a *payload_words*-word vector from every node up to the root.
+
+        Partial aggregates are merged on the way (the combination is by-key
+        minimum/maximum, so the vector size never grows); the schedule is the
+        mirror image of :meth:`pipelined_broadcast`.
+        """
+        if payload_words <= 0 or len(bfs_parent) <= 1:
+            return
+        chunks = math.ceil(payload_words / self.bandwidth)
+        last_chunk_words = payload_words - (chunks - 1) * self.bandwidth
+        depth = max(bfs_depth.values())
+        total_rounds = depth + chunks - 1
+        edges_at_level: Dict[int, int] = {}
+        for v, p in bfs_parent.items():
+            if p is not None:
+                lvl = bfs_depth[v]
+                edges_at_level[lvl] = edges_at_level.get(lvl, 0) + 1
+        for r in range(1, total_rounds + 1):
+            transmissions: List[int] = []
+            for lvl, count in edges_at_level.items():
+                # Deeper edges transmit earlier; edge at level l sends chunk
+                # r - (depth - l) upward.
+                chunk_index = r - (depth - lvl)
+                if 1 <= chunk_index <= chunks:
+                    words = self.bandwidth if chunk_index < chunks else last_chunk_words
+                    transmissions.extend([words] * count)
+            self._charge_round(transmissions)
+
+    # ------------------------------------------------------------------ #
+    def aggregate_query_round(
+        self,
+        bfs_parent: Dict[Vertex, Optional[Vertex]],
+        bfs_depth: Dict[Vertex, int],
+        num_queries: int,
+    ) -> None:
+        """Account one full query round: convergecast the ``num_queries`` partial
+        answers (one word each) to the root, then broadcast the combined
+        answers back to every node."""
+        self.pipelined_convergecast(bfs_parent, bfs_depth, num_queries)
+        self.pipelined_broadcast(bfs_parent, bfs_depth, num_queries)
+
+
+def recommended_bandwidth(graph: UndirectedGraph, root: Vertex) -> Tuple[int, int]:
+    """Return ``(diameter_estimate, ceil(n / D))`` — the CONGEST(n/D) budget the
+    paper assumes.  The diameter estimate is the BFS eccentricity of *root*."""
+    _, depth = bfs_tree(graph, root)
+    diameter = max(depth.values()) if depth else 1
+    diameter = max(diameter, 1)
+    n = graph.num_vertices
+    return diameter, max(math.ceil(n / diameter), 1)

@@ -1,0 +1,28 @@
+"""Graph substrate: dynamic undirected graph store, generators, static DFS,
+traversals and DFS-tree validation."""
+
+from repro.graph.graph import UndirectedGraph
+from repro.graph.traversal import (
+    bfs_tree,
+    connected_components,
+    static_dfs_forest,
+    static_dfs_tree,
+)
+from repro.graph.validation import (
+    check_dfs_tree,
+    is_back_edge,
+    is_valid_dfs_forest,
+    is_valid_dfs_tree,
+)
+
+__all__ = [
+    "UndirectedGraph",
+    "static_dfs_tree",
+    "static_dfs_forest",
+    "bfs_tree",
+    "connected_components",
+    "is_valid_dfs_tree",
+    "is_valid_dfs_forest",
+    "is_back_edge",
+    "check_dfs_tree",
+]

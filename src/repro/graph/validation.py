@@ -1,0 +1,155 @@
+"""DFS-tree validation.
+
+A rooted spanning tree of an undirected graph is a DFS tree **iff every non-tree
+edge is a back edge** (one endpoint is an ancestor of the other) — the necessary
+and sufficient condition stated in Section 1 of the paper.  The checkers below
+implement that condition directly and are used throughout the test suite to
+validate every tree produced by every engine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.constants import VIRTUAL_ROOT, is_virtual_root
+from repro.graph.graph import UndirectedGraph
+
+Vertex = Hashable
+ParentMap = Dict[Vertex, Optional[Vertex]]
+
+
+def _orientation(parent: ParentMap) -> Tuple[Dict[Vertex, int], Dict[Vertex, int], bool]:
+    """Compute entry/exit intervals of the tree described by *parent*.
+
+    Returns ``(tin, tout, acyclic)`` where ``acyclic`` is False when the parent
+    map contains a cycle or a vertex whose parent is missing from the map.
+    """
+    children: Dict[Vertex, List[Vertex]] = {v: [] for v in parent}
+    roots: List[Vertex] = []
+    for v, p in parent.items():
+        if p is None:
+            roots.append(v)
+        else:
+            if p not in parent:
+                return {}, {}, False
+            children[p].append(v)
+
+    tin: Dict[Vertex, int] = {}
+    tout: Dict[Vertex, int] = {}
+    clock = 0
+    for root in roots:
+        stack: List[Tuple[Vertex, int]] = [(root, 0)]
+        while stack:
+            v, idx = stack[-1]
+            if idx == 0:
+                if v in tin:  # visited twice -> cycle
+                    return {}, {}, False
+                tin[v] = clock
+                clock += 1
+            if idx < len(children[v]):
+                stack[-1] = (v, idx + 1)
+                stack.append((children[v][idx], 0))
+            else:
+                tout[v] = clock
+                clock += 1
+                stack.pop()
+    if len(tin) != len(parent):
+        return {}, {}, False
+    return tin, tout, True
+
+
+def is_ancestor_in(tin: Dict[Vertex, int], tout: Dict[Vertex, int], a: Vertex, b: Vertex) -> bool:
+    """Return True iff *a* is an ancestor of *b* (not necessarily proper)."""
+    return tin[a] <= tin[b] and tout[b] <= tout[a]
+
+
+def is_back_edge(parent: ParentMap, u: Vertex, v: Vertex) -> bool:
+    """Return True iff ``(u, v)`` is a back edge w.r.t. the tree *parent*.
+
+    A tree edge is also reported as a back edge (its endpoints are in
+    ancestor-descendant relation), matching the paper's usage.
+    """
+    tin, tout, ok = _orientation(parent)
+    if not ok or u not in tin or v not in tin:
+        return False
+    return is_ancestor_in(tin, tout, u, v) or is_ancestor_in(tin, tout, v, u)
+
+
+def check_dfs_tree(
+    graph: UndirectedGraph,
+    parent: ParentMap,
+    *,
+    require_spanning: bool = True,
+) -> List[str]:
+    """Check that *parent* describes a DFS tree/forest of *graph*.
+
+    The parent map may contain the :data:`VIRTUAL_ROOT` sentinel as the root of
+    the forest; edges to the virtual root are treated as the paper's implicit
+    augmentation edges and are not required to exist in *graph*.
+
+    Returns a list of human-readable problems; an empty list means the tree is
+    valid.  Checked conditions:
+
+    1. structural sanity: exactly one root per tree, no cycles;
+    2. every tree edge exists in the graph (virtual-root edges excepted);
+    3. (optionally) the forest spans every vertex of the graph;
+    4. every vertex of the parent map is a graph vertex (or the virtual root);
+    5. every non-tree edge of the graph is a back edge.
+    """
+    problems: List[str] = []
+    if not parent:
+        if require_spanning and graph.num_vertices:
+            problems.append("parent map is empty but the graph is not")
+        return problems
+
+    tin, tout, ok = _orientation(parent)
+    if not ok:
+        problems.append("parent map is not a forest (cycle or dangling parent)")
+        return problems
+
+    for v, p in parent.items():
+        if not is_virtual_root(v) and not graph.has_vertex(v):
+            problems.append(f"tree vertex {v!r} is not a graph vertex")
+        if p is None or is_virtual_root(p) or is_virtual_root(v):
+            continue
+        if not graph.has_edge(v, p):
+            problems.append(f"tree edge ({p!r}, {v!r}) is not a graph edge")
+
+    if require_spanning:
+        for v in graph.vertices():
+            if v not in parent:
+                problems.append(f"graph vertex {v!r} is missing from the tree")
+
+    for u, v in graph.edges():
+        if u not in tin or v not in tin:
+            continue  # already reported by the spanning check
+        if parent.get(u) == v or parent.get(v) == u:
+            continue  # tree edge
+        if not (is_ancestor_in(tin, tout, u, v) or is_ancestor_in(tin, tout, v, u)):
+            problems.append(f"non-tree edge ({u!r}, {v!r}) is a cross edge")
+    return problems
+
+
+def is_valid_dfs_tree(graph: UndirectedGraph, parent: ParentMap, root: Vertex) -> bool:
+    """Return True iff *parent* is a valid DFS tree of *graph* rooted at *root*.
+
+    The tree must span the connected component of *root* exactly.
+    """
+    if root not in parent or parent[root] is not None:
+        return False
+    if check_dfs_tree(graph, parent, require_spanning=False):
+        return False
+    # The tree must cover exactly the component of the root.
+    from repro.graph.traversal import component_of
+
+    comp = set(component_of(graph, root)) if graph.has_vertex(root) else set()
+    covered = {v for v in parent if not is_virtual_root(v)}
+    return covered == comp
+
+
+def is_valid_dfs_forest(graph: UndirectedGraph, parent: ParentMap) -> bool:
+    """Return True iff *parent* (rooted at the virtual root) is a valid DFS
+    forest spanning every vertex of *graph*."""
+    if VIRTUAL_ROOT not in parent or parent[VIRTUAL_ROOT] is not None:
+        return False
+    return not check_dfs_tree(graph, parent, require_spanning=True)

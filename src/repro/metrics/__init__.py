@@ -1,0 +1,20 @@
+"""Instrumentation: counters for the model quantities the paper's theorems bound
+(query rounds, traversal rounds, phases, stages, streaming passes, CONGEST
+rounds/messages, simulated PRAM depth and work) and helpers for analysing their
+growth."""
+
+from repro.metrics.counters import MetricsRecorder
+from repro.metrics.complexity import (
+    estimate_power_law_exponent,
+    fit_polylog_exponent,
+    format_table,
+    geometric_sizes,
+)
+
+__all__ = [
+    "MetricsRecorder",
+    "estimate_power_law_exponent",
+    "fit_polylog_exponent",
+    "format_table",
+    "geometric_sizes",
+]

@@ -1,0 +1,115 @@
+"""Metric counters.
+
+The reproduction's headline measurements are *model quantities* — numbers of
+query rounds, passes, CONGEST rounds, messages, simulated PRAM depth — rather
+than wall-clock time (see DESIGN.md §3 on the GIL substitution).  Every engine
+accepts a :class:`MetricsRecorder` and increments named counters; benchmarks and
+tests read them back through :meth:`MetricsRecorder.as_dict`.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+
+class MetricsRecorder:
+    """A hierarchical bag of counters, maxima and timers.
+
+    Counter semantics:
+
+    * :meth:`inc` accumulates (used for rounds, queries, messages, ...);
+    * :meth:`observe_max` keeps the maximum observed value (used for e.g.
+      largest message size, maximum queries in one round);
+    * :meth:`timer` accumulates wall-clock seconds under ``time_<name>`` keys.
+
+    The recorder is deliberately permissive: reading an unknown counter returns
+    0 so call sites do not need existence checks.
+    """
+
+    def __init__(self, name: str = "metrics") -> None:
+        self.name = name
+        self._counters: Dict[str, float] = {}
+        self._maxima: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+    def inc(self, key: str, amount: float = 1) -> None:
+        """Add *amount* to counter *key*."""
+        self._counters[key] = self._counters.get(key, 0) + amount
+
+    def observe_max(self, key: str, value: float) -> None:
+        """Record *value* under *key*, keeping the maximum seen so far."""
+        if value > self._maxima.get(key, float("-inf")):
+            self._maxima[key] = value
+
+    def set(self, key: str, value: float) -> None:
+        """Overwrite counter *key* with *value*."""
+        self._counters[key] = value
+
+    @contextmanager
+    def timer(self, key: str) -> Iterator[None]:
+        """Accumulate the elapsed wall-clock time under ``time_<key>``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.inc(f"time_{key}", time.perf_counter() - start)
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+    def __getitem__(self, key: str) -> float:
+        return self.get(key, 0)
+
+    def get(self, key: str, default: float = 0) -> float:
+        """Counter value, or *default* when never recorded.
+
+        Maxima are reachable both under their raw name and under the
+        ``max_``-prefixed name used by :meth:`as_dict`.
+        """
+        if key in self._counters:
+            return self._counters[key]
+        if key in self._maxima:
+            return self._maxima[key]
+        if key.startswith("max_") and key[4:] in self._maxima:
+            return self._maxima[key[4:]]
+        return default
+
+    def as_dict(self) -> Dict[str, float]:
+        """A plain dict snapshot (counters and maxima merged; maxima prefixed
+        with ``max_`` when the key does not already carry the prefix)."""
+        out = dict(self._counters)
+        for k, v in self._maxima.items():
+            key = k if k.startswith("max_") else f"max_{k}"
+            out[key] = v
+        return out
+
+    def reset(self) -> None:
+        """Forget every recorded value."""
+        self._counters.clear()
+        self._maxima.clear()
+
+    def merge(self, other: "MetricsRecorder") -> None:
+        """Fold *other* into this recorder (counters add, maxima take max)."""
+        for k, v in other._counters.items():
+            self.inc(k, v)
+        for k, v in other._maxima.items():
+            self.observe_max(k, v)
+
+    def snapshot_delta(self, before: Optional[Dict[str, float]] = None) -> Dict[str, float]:
+        """Return counters minus the values captured in *before*.
+
+        Useful for per-update measurements: snapshot, perform one update, then
+        ask for the delta.
+        """
+        if before is None:
+            return self.as_dict()
+        now = self.as_dict()
+        return {k: now.get(k, 0) - before.get(k, 0) for k in set(now) | set(before)}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        items = ", ".join(f"{k}={v}" for k, v in sorted(self.as_dict().items()))
+        return f"MetricsRecorder({self.name}: {items})"

@@ -1,0 +1,166 @@
+"""The PRAM cost-model simulator.
+
+A :class:`PRAM` instance executes *synchronous parallel steps*: a step takes a
+list of work items and a per-item function, applies the function to every item
+(sequentially, under the GIL), and charges
+
+* ``depth += 1`` — one unit of parallel time, and
+* ``work += len(items)`` — one unit of work per (virtual) processor used.
+
+The optional *strict EREW* mode routes all memory traffic through
+:class:`SharedArray` handles and raises :class:`~repro.exceptions.EREWViolation`
+if two processors touch the same cell in the same step — the discipline the
+paper's EREW PRAM algorithms must obey.  Strict mode is used by the tests of the
+primitives; the benchmarks run with it off to keep overheads representative.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generic, Iterable, List, Optional, Sequence, TypeVar
+
+from repro.exceptions import EREWViolation, PRAMError
+from repro.metrics.counters import MetricsRecorder
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class SharedArray(Generic[T]):
+    """A shared-memory array whose accesses are charged to a :class:`PRAM`.
+
+    Reads and writes outside a parallel step are considered "host" accesses and
+    are not policed; inside a step, strict mode checks the EREW discipline.
+    """
+
+    __slots__ = ("_pram", "_data", "name")
+
+    def __init__(self, pram: "PRAM", data: Iterable[T], name: str = "array") -> None:
+        self._pram = pram
+        self._data: List[T] = list(data)
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def read(self, i: int) -> T:
+        self._pram._record_access(self, i, "read")
+        return self._data[i]
+
+    def write(self, i: int, value: T) -> None:
+        self._pram._record_access(self, i, "write")
+        self._data[i] = value
+
+    def to_list(self) -> List[T]:
+        """Host-side copy of the array contents."""
+        return list(self._data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"SharedArray({self.name}, n={len(self._data)})"
+
+
+class PRAM:
+    """EREW PRAM cost model.
+
+    Parameters
+    ----------
+    strict_erew:
+        When True, concurrent reads or writes of the same :class:`SharedArray`
+        cell within one parallel step raise :class:`EREWViolation`.
+    metrics:
+        Optional shared recorder; depth/work are mirrored into it under
+        ``pram_depth`` / ``pram_work``.
+    """
+
+    def __init__(self, *, strict_erew: bool = False, metrics: Optional[MetricsRecorder] = None) -> None:
+        self.strict_erew = strict_erew
+        self.metrics = metrics
+        self.depth = 0
+        self.work = 0
+        self._in_step = False
+        self._step_reads: Dict[tuple, int] = {}
+        self._step_writes: Dict[tuple, int] = {}
+        self._current_processor: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    # Memory
+    # ------------------------------------------------------------------ #
+    def array(self, data: Iterable[T], name: str = "array") -> SharedArray[T]:
+        """Allocate a shared array initialised from *data*."""
+        return SharedArray(self, data, name)
+
+    def zeros(self, n: int, name: str = "array") -> SharedArray[int]:
+        """Allocate a shared array of *n* zeros."""
+        return SharedArray(self, [0] * n, name)
+
+    def _record_access(self, arr: SharedArray, index: int, kind: str) -> None:
+        if not self._in_step or not self.strict_erew:
+            return
+        key = (id(arr), index)
+        table = self._step_reads if kind == "read" else self._step_writes
+        owner = table.get(key)
+        if owner is not None and owner != self._current_processor:
+            raise EREWViolation(f"{arr.name}[{index}]", kind)
+        # A write conflicting with any read (or vice versa) from another
+        # processor also violates exclusivity.
+        other = self._step_writes if kind == "read" else self._step_reads
+        other_owner = other.get(key)
+        if other_owner is not None and other_owner != self._current_processor:
+            raise EREWViolation(f"{arr.name}[{index}]", "read/write")
+        table[key] = self._current_processor if self._current_processor is not None else -1
+
+    # ------------------------------------------------------------------ #
+    # Steps
+    # ------------------------------------------------------------------ #
+    def parallel_step(
+        self,
+        items: Sequence[T],
+        fn: Callable[[int, T], R],
+        *,
+        label: str = "step",
+    ) -> List[R]:
+        """Execute one synchronous step: ``fn(processor_index, item)`` per item.
+
+        Charges one unit of depth and ``len(items)`` units of work.  An empty
+        item list charges nothing (the step is skipped).
+        """
+        if self._in_step:
+            raise PRAMError("nested parallel steps are not allowed (the model is synchronous)")
+        if not items:
+            return []
+        self._in_step = True
+        self._step_reads.clear()
+        self._step_writes.clear()
+        results: List[R] = []
+        try:
+            for i, item in enumerate(items):
+                self._current_processor = i
+                results.append(fn(i, item))
+        finally:
+            self._current_processor = None
+            self._in_step = False
+        self.depth += 1
+        self.work += len(items)
+        if self.metrics is not None:
+            self.metrics.inc("pram_depth")
+            self.metrics.inc("pram_work", len(items))
+            self.metrics.observe_max("pram_processors", len(items))
+        return results
+
+    def charge(self, *, depth: int = 0, work: int = 0) -> None:
+        """Manually charge model cost (used when a helper computes a quantity
+        host-side but the modelled algorithm would have paid for it)."""
+        self.depth += depth
+        self.work += work
+        if self.metrics is not None:
+            if depth:
+                self.metrics.inc("pram_depth", depth)
+            if work:
+                self.metrics.inc("pram_work", work)
+
+    def reset(self) -> None:
+        """Reset depth and work counters."""
+        self.depth = 0
+        self.work = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"PRAM(depth={self.depth}, work={self.work}, strict_erew={self.strict_erew})"

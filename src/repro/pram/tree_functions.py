@@ -1,0 +1,145 @@
+"""Parallel tree functions via the Euler tour technique (Tarjan–Vishkin).
+
+Theorem 4 of the paper: a rooted tree on ``n`` vertices can be processed in
+``O(log n)`` time with ``n`` processors (EREW) to obtain post-order numbers,
+levels and subtree sizes.  The classical construction is reproduced here:
+
+1. build the directed Euler tour as a linked list of tree arcs (each tree edge
+   contributes a *down* and an *up* arc);
+2. list-rank the tour by pointer jumping to obtain each arc's position;
+3. prefix-sum ``+1`` for down arcs and ``-1`` for up arcs to obtain levels;
+4. prefix-sum the up-arc indicator to obtain post-order numbers;
+5. subtract arc positions to obtain subtree sizes.
+
+The whole pipeline is executed through the :class:`~repro.pram.machine.PRAM`
+simulator so its depth/work are metered (bench E6), and the results are checked
+against the sequential :class:`~repro.tree.dfs_tree.DFSTree` indices in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Mapping, Optional, Tuple
+
+from repro.exceptions import TreeError
+from repro.pram.machine import PRAM
+from repro.pram.primitives import parallel_prefix_sums, pointer_jumping_list_ranking
+
+Vertex = Hashable
+
+
+def _build_children(parent: Mapping[Vertex, Optional[Vertex]]) -> Tuple[List[Vertex], Dict[Vertex, int], List[List[int]], int]:
+    verts = list(parent)
+    idx = {v: i for i, v in enumerate(verts)}
+    children: List[List[int]] = [[] for _ in verts]
+    root_idx = -1
+    for v, p in parent.items():
+        if p is None:
+            if root_idx != -1:
+                raise TreeError("parallel tree functions expect a single-rooted tree")
+            root_idx = idx[v]
+        else:
+            children[idx[p]].append(idx[v])
+    if root_idx == -1 and verts:
+        raise TreeError("parent map has no root")
+    return verts, idx, children, root_idx
+
+
+def parallel_tree_functions(
+    pram: PRAM, parent: Mapping[Vertex, Optional[Vertex]]
+) -> Dict[str, Dict[Vertex, int]]:
+    """Compute ``level``, ``postorder`` and ``size`` maps for the tree *parent*.
+
+    Returns ``{"level": {...}, "postorder": {...}, "size": {...}}``.  Matches
+    the sequential indices computed by :class:`DFSTree` (same child order).
+    """
+    verts, idx, children, root_idx = _build_children(parent)
+    n = len(verts)
+    if n == 0:
+        return {"level": {}, "postorder": {}, "size": {}}
+    if n == 1:
+        v = verts[0]
+        return {"level": {v: 0}, "postorder": {v: 0}, "size": {v: 1}}
+
+    # Arc numbering: for the i-th non-root vertex (host order), its down arc is
+    # 2i and its up arc is 2i+1.
+    non_root = [i for i in range(n) if i != root_idx]
+    arc_of_vertex = {v: k for k, v in enumerate(non_root)}
+    num_arcs = 2 * len(non_root)
+
+    parent_idx = [-1] * n
+    for v, p in parent.items():
+        if p is not None:
+            parent_idx[idx[v]] = idx[p]
+
+    child_pos: Dict[int, int] = {}
+    for u in range(n):
+        for pos, c in enumerate(children[u]):
+            child_pos[c] = pos
+
+    def down(v: int) -> int:
+        return 2 * arc_of_vertex[v]
+
+    def up(v: int) -> int:
+        return 2 * arc_of_vertex[v] + 1
+
+    # Successor links of the Euler tour (one parallel step over arcs).
+    successor = pram.zeros(num_arcs, "euler_succ")
+
+    def set_successor(_proc: int, arc: int) -> None:
+        v = non_root[arc // 2]
+        if arc % 2 == 0:
+            # down arc (parent(v) -> v): next is the first child of v, else up(v).
+            kids = children[v]
+            successor.write(arc, down(kids[0]) if kids else up(v))
+        else:
+            # up arc (v -> parent(v)): next is the next sibling of v, else the
+            # parent's up arc (or the end of the tour at the root).
+            u = parent_idx[v]
+            kids = children[u]
+            pos = child_pos[v]
+            if pos + 1 < len(kids):
+                successor.write(arc, down(kids[pos + 1]))
+            elif u == root_idx:
+                successor.write(arc, -1)
+            else:
+                successor.write(arc, up(u))
+
+    pram.parallel_step(range(num_arcs), set_successor, label="euler_successor")
+
+    # Position of each arc in the tour via list ranking.
+    dist_to_end = pointer_jumping_list_ranking(pram, successor.to_list())
+    positions = [num_arcs - 1 - d for d in dist_to_end]
+
+    # Order arcs by position (scatter step).
+    tour = pram.array([-1] * num_arcs, "euler_tour")
+
+    def scatter(_proc: int, arc: int) -> None:
+        tour.write(positions[arc], arc)
+
+    pram.parallel_step(range(num_arcs), scatter, label="euler_scatter")
+    tour_list = tour.to_list()
+
+    # Levels: prefix sums of +1 (down) / -1 (up) along the tour.
+    deltas = [1 if arc % 2 == 0 else -1 for arc in tour_list]
+    depth_after = parallel_prefix_sums(pram, deltas)
+
+    # Post-order: prefix count of up arcs along the tour.
+    up_counts = parallel_prefix_sums(pram, [1 if arc % 2 == 1 else 0 for arc in tour_list])
+
+    level: Dict[Vertex, int] = {verts[root_idx]: 0}
+    postorder: Dict[Vertex, int] = {verts[root_idx]: n - 1}
+    size: Dict[Vertex, int] = {verts[root_idx]: n}
+
+    pos_of_arc = positions
+
+    def finalize(_proc: int, k: int) -> None:
+        v = non_root[k]
+        vert = verts[v]
+        p_down = pos_of_arc[down(v)]
+        p_up = pos_of_arc[up(v)]
+        level[vert] = int(depth_after[p_down])
+        postorder[vert] = int(up_counts[p_up]) - 1
+        size[vert] = (p_up - p_down + 1) // 2
+
+    pram.parallel_step(range(len(non_root)), finalize, label="euler_finalize")
+    return {"level": level, "postorder": postorder, "size": size}

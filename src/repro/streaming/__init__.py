@@ -1,0 +1,7 @@
+"""Semi-streaming environment (Theorem 15): edge stream with pass counting and
+the streaming dynamic-DFS driver."""
+
+from repro.streaming.stream import EdgeStream
+from repro.streaming.semi_streaming_dfs import SemiStreamingDynamicDFS, StreamQueryService
+
+__all__ = ["EdgeStream", "SemiStreamingDynamicDFS", "StreamQueryService"]

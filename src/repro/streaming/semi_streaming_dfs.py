@@ -1,0 +1,216 @@
+"""Semi-streaming fully dynamic DFS (Theorem 15).
+
+The algorithm stores only the current tree ``T``, the partially built tree
+``T*`` and ``O(n)`` per-query state; the graph's edges are accessible solely
+through :class:`~repro.streaming.stream.EdgeStream` passes.  All tree
+operations are local; every batch of independent queries the rerooting engine
+asks for is answered by **one pass** over the stream (each query keeps exactly
+one candidate edge — its best-so-far — so the extra space is one edge per
+query, ``O(n)`` in total).  The per-update pass count is therefore the number
+of query batches, which the paper bounds by ``O(log^2 n)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence
+
+from repro.constants import VIRTUAL_ROOT
+from repro.core.queries import Answer, EdgeQuery, QueryService
+from repro.core.reduction import reduce_update
+from repro.core.reroot_parallel import ParallelRerootEngine
+from repro.core.updates import (
+    EdgeDeletion,
+    EdgeInsertion,
+    Update,
+    VertexDeletion,
+    VertexInsertion,
+)
+from repro.exceptions import NotADFSTree, UpdateError
+from repro.graph.graph import UndirectedGraph
+from repro.graph.traversal import static_dfs_forest
+from repro.graph.validation import check_dfs_tree
+from repro.metrics.counters import MetricsRecorder
+from repro.streaming.stream import EdgeStream
+from repro.tree.dfs_tree import DFSTree
+
+Vertex = Hashable
+
+
+class StreamQueryService(QueryService):
+    """Answers a batch of independent edge queries with a single stream pass.
+
+    For every query the service keeps one best-so-far edge; when the pass ends,
+    the per-query candidates are the answers.  Because the queries of a batch
+    have disjoint source pieces, a reverse index ``vertex -> query`` fits in
+    ``O(n)`` space.
+    """
+
+    def __init__(
+        self,
+        stream: EdgeStream,
+        base_tree: DFSTree,
+        *,
+        metrics: Optional[MetricsRecorder] = None,
+    ) -> None:
+        self._stream = stream
+        self._tree = base_tree
+        self._metrics = metrics
+
+    def answer_batch(self, queries: Sequence[EdgeQuery]) -> List[Answer]:
+        if self._metrics is not None:
+            self._metrics.inc("query_batches")
+            self._metrics.inc("queries", len(queries))
+        if not queries:
+            return []
+
+        # O(n) working state: one source-owner entry per vertex (sources are
+        # disjoint across independent queries) and per-query target positions.
+        source_owner: Dict[Vertex, int] = {}
+        target_pos: List[Dict[Vertex, int]] = []
+        best: List[Answer] = [None] * len(queries)
+        for qi, q in enumerate(queries):
+            for v in q.source_vertex_list(self._tree):
+                source_owner[v] = qi
+            target_pos.append({v: i for i, v in enumerate(q.target)})
+        if self._metrics is not None:
+            self._metrics.observe_max("stream_state_entries", len(source_owner) + sum(len(t) for t in target_pos))
+
+        def consider(qi: int, src: Vertex, tgt: Vertex) -> None:
+            q = queries[qi]
+            pos = target_pos[qi]
+            cur = best[qi]
+            p = pos[tgt]
+            if cur is None:
+                best[qi] = (src, tgt)
+                return
+            cur_p = pos[cur[1]]
+            if (q.prefer_last and p > cur_p) or (not q.prefer_last and p < cur_p):
+                best[qi] = (src, tgt)
+
+        for u, v in self._stream.pass_over():
+            qi = source_owner.get(u)
+            if qi is not None and v in target_pos[qi]:
+                consider(qi, u, v)
+            qj = source_owner.get(v)
+            if qj is not None and u in target_pos[qj]:
+                consider(qj, v, u)
+        return best
+
+
+class SemiStreamingDynamicDFS:
+    """Maintain a DFS forest with ``O(n)`` memory and stream passes only.
+
+    The public update API mirrors :class:`~repro.core.dynamic_dfs.FullyDynamicDFS`;
+    per-update pass counts are available from ``metrics["stream_passes"]`` (or
+    via the convenience property :attr:`passes`).
+    """
+
+    def __init__(
+        self,
+        graph: UndirectedGraph,
+        *,
+        validate: bool = False,
+        metrics: Optional[MetricsRecorder] = None,
+    ) -> None:
+        self.metrics = metrics or MetricsRecorder("semi_streaming_dfs")
+        self._validate = validate
+        # The "reference" graph exists only for validation and for the fallback
+        # adjacency provider; the algorithm itself touches edges only through
+        # the stream.
+        self._graph = graph.copy()
+        self._stream = EdgeStream.from_graph(graph, metrics=self.metrics)
+        self._vertices = set(graph.vertices())
+        with self.metrics.timer("initial_dfs"):
+            parent = static_dfs_forest(self._graph)
+        self._tree = DFSTree(parent, root=VIRTUAL_ROOT)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def tree(self) -> DFSTree:
+        """The current DFS forest."""
+        return self._tree
+
+    @property
+    def passes(self) -> int:
+        """Total number of stream passes performed so far."""
+        return self._stream.passes
+
+    @property
+    def stream(self) -> EdgeStream:
+        """The underlying edge stream."""
+        return self._stream
+
+    def local_space(self) -> int:
+        """Vertices of state the algorithm keeps between passes (``O(n)``)."""
+        return self._tree.num_vertices
+
+    def is_valid(self) -> bool:
+        """Validate the maintained forest against the reference graph."""
+        return not check_dfs_tree(self._graph, self._tree.parent_map())
+
+    # ------------------------------------------------------------------ #
+    def insert_edge(self, u: Vertex, v: Vertex) -> DFSTree:
+        return self.apply(EdgeInsertion(u, v))
+
+    def delete_edge(self, u: Vertex, v: Vertex) -> DFSTree:
+        return self.apply(EdgeDeletion(u, v))
+
+    def insert_vertex(self, v: Vertex, neighbors: Iterable[Vertex] = ()) -> DFSTree:
+        return self.apply(VertexInsertion(v, tuple(neighbors)))
+
+    def delete_vertex(self, v: Vertex) -> DFSTree:
+        return self.apply(VertexDeletion(v))
+
+    def apply_all(self, updates: Sequence[Update]) -> DFSTree:
+        for upd in updates:
+            self.apply(upd)
+        return self._tree
+
+    def apply(self, update: Update) -> DFSTree:
+        """Apply one update; the stream is updated first, then the tree."""
+        self.metrics.inc("updates")
+        before_passes = self._stream.passes
+        self._mutate(update)
+
+        service = StreamQueryService(self._stream, self._tree, metrics=self.metrics)
+        reduction = reduce_update(update, self._tree, service, metrics=self.metrics)
+        new_parent = self._tree.parent_map()
+        for v in reduction.removed_vertices:
+            new_parent.pop(v, None)
+        new_parent.update(reduction.parent_overrides)
+        if reduction.tasks:
+            engine = ParallelRerootEngine(
+                self._tree,
+                service,
+                adjacency=self._graph.neighbor_list,
+                metrics=self.metrics,
+                validate=self._validate,
+            )
+            new_parent.update(engine.reroot_many(reduction.tasks))
+        self._tree = DFSTree(new_parent, root=VIRTUAL_ROOT)
+        self.metrics.observe_max("passes_per_update", self._stream.passes - before_passes)
+        if self._validate:
+            problems = check_dfs_tree(self._graph, self._tree.parent_map())
+            if problems:
+                raise NotADFSTree("; ".join(problems[:5]))
+        return self._tree
+
+    # ------------------------------------------------------------------ #
+    def _mutate(self, update: Update) -> None:
+        if isinstance(update, EdgeInsertion):
+            self._graph.add_edge(update.u, update.v)
+            self._stream.insert_edge(update.u, update.v)
+        elif isinstance(update, EdgeDeletion):
+            self._graph.remove_edge(update.u, update.v)
+            self._stream.delete_edge(update.u, update.v)
+        elif isinstance(update, VertexInsertion):
+            self._graph.add_vertex_with_edges(update.v, update.neighbors)
+            self._vertices.add(update.v)
+            for w in update.neighbors:
+                self._stream.insert_edge(update.v, w)
+        elif isinstance(update, VertexDeletion):
+            self._graph.remove_vertex(update.v)
+            self._vertices.discard(update.v)
+            self._stream.delete_vertex_edges(update.v)
+        else:
+            raise UpdateError(f"unknown update type {update!r}")

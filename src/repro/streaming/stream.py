@@ -1,0 +1,91 @@
+"""The edge stream abstraction.
+
+In the semi-streaming model the graph is only accessible as a stream of edges;
+the algorithm may use ``O(n)`` local memory and is charged one *pass* every time
+it reads the stream end to end.  :class:`EdgeStream` models exactly that: the
+edge list lives "outside" the algorithm (the stream can be updated between
+passes to reflect graph updates, as in the dynamic setting), and every call to
+:meth:`EdgeStream.pass_over` increments the pass counter.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.exceptions import StreamingError
+from repro.graph.graph import UndirectedGraph
+from repro.metrics.counters import MetricsRecorder
+
+Vertex = Hashable
+Edge = Tuple[Vertex, Vertex]
+
+
+class EdgeStream:
+    """A replayable, updatable stream of undirected edges."""
+
+    def __init__(
+        self,
+        edges: Iterable[Edge] = (),
+        *,
+        metrics: Optional[MetricsRecorder] = None,
+    ) -> None:
+        self._edges: Set[frozenset] = set()
+        for u, v in edges:
+            if u != v:
+                self._edges.add(frozenset((u, v)))
+        self.metrics = metrics or MetricsRecorder("edge_stream")
+        self._passes = 0
+
+    @classmethod
+    def from_graph(cls, graph: UndirectedGraph, *, metrics: Optional[MetricsRecorder] = None) -> "EdgeStream":
+        """Stream over the edges of an existing graph."""
+        return cls(graph.edges(), metrics=metrics)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_edges(self) -> int:
+        """Current number of edges in the stream."""
+        return len(self._edges)
+
+    @property
+    def passes(self) -> int:
+        """Number of passes performed so far."""
+        return self._passes
+
+    def pass_over(self) -> Iterator[Edge]:
+        """Iterate over every edge once; counts as one pass."""
+        self._passes += 1
+        self.metrics.inc("stream_passes")
+        for e in self._edges:
+            u, v = tuple(e)
+            yield (u, v)
+
+    # ------------------------------------------------------------------ #
+    # Stream updates (the dynamic setting: the input stream itself changes)
+    # ------------------------------------------------------------------ #
+    def insert_edge(self, u: Vertex, v: Vertex) -> None:
+        """Add edge ``(u, v)`` to the stream."""
+        if u == v:
+            raise StreamingError("self loops are not supported")
+        key = frozenset((u, v))
+        if key in self._edges:
+            raise StreamingError(f"edge ({u!r}, {v!r}) is already in the stream")
+        self._edges.add(key)
+
+    def delete_edge(self, u: Vertex, v: Vertex) -> None:
+        """Remove edge ``(u, v)`` from the stream."""
+        key = frozenset((u, v))
+        if key not in self._edges:
+            raise StreamingError(f"edge ({u!r}, {v!r}) is not in the stream")
+        self._edges.discard(key)
+
+    def delete_vertex_edges(self, v: Vertex) -> List[Edge]:
+        """Remove every edge incident to *v*; returns the removed edges."""
+        removed = [e for e in self._edges if v in e]
+        for e in removed:
+            self._edges.discard(e)
+        return [tuple(e) for e in removed]
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        """Membership test (used only by stream maintenance, not by passes)."""
+        return frozenset((u, v)) in self._edges

@@ -1,0 +1,354 @@
+"""The :class:`DFSTree` structure.
+
+A :class:`DFSTree` is an immutable snapshot of a rooted spanning tree/forest
+(usually a DFS tree) together with the per-vertex tree indices the paper's
+algorithms rely on (Theorem 4/10): post-order number, level (depth), subtree
+size, entry/exit intervals for O(1) ancestor tests, and a lazily-built binary
+lifting table for O(log n) LCA / level-ancestor queries.
+
+The dynamic algorithms never mutate a :class:`DFSTree`; they produce a new
+parent map and build a fresh snapshot (mirroring the paper, where the data
+structures on ``T`` are rebuilt in ``O(log n)`` parallel time after an update).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import TreeError, VertexNotFound
+
+Vertex = Hashable
+ParentMap = Mapping[Vertex, Optional[Vertex]]
+
+
+class DFSTree:
+    """Immutable rooted forest with O(1)/O(log n) structural queries.
+
+    Parameters
+    ----------
+    parent:
+        Mapping from every vertex to its parent; roots map to ``None``.  Several
+        roots are allowed (a forest), although the dynamic-DFS driver always
+        passes a single-root tree rooted at the virtual root.
+    root:
+        Optional explicit root.  If given, it must be a root of *parent*.
+
+    Examples
+    --------
+    >>> t = DFSTree({0: None, 1: 0, 2: 1, 3: 1})
+    >>> t.level(3), t.subtree_size(1), t.is_ancestor(0, 3)
+    (2, 3, True)
+    """
+
+    __slots__ = (
+        "_verts",
+        "_idx",
+        "_parent_idx",
+        "_children_idx",
+        "_roots_idx",
+        "_tin",
+        "_tout",
+        "_post",
+        "_level",
+        "_size",
+        "_up",
+        "_log",
+    )
+
+    def __init__(self, parent: ParentMap, *, root: Optional[Vertex] = None) -> None:
+        verts: List[Vertex] = list(parent)
+        idx: Dict[Vertex, int] = {v: i for i, v in enumerate(verts)}
+        if len(idx) != len(verts):
+            raise TreeError("duplicate vertices in parent map")
+        n = len(verts)
+        parent_idx: List[int] = [-1] * n
+        children_idx: List[List[int]] = [[] for _ in range(n)]
+        roots: List[int] = []
+        for v, p in parent.items():
+            vi = idx[v]
+            if p is None:
+                roots.append(vi)
+            else:
+                if p not in idx:
+                    raise TreeError(f"parent {p!r} of {v!r} is not a tree vertex")
+                pi = idx[p]
+                parent_idx[vi] = pi
+                children_idx[pi].append(vi)
+        if not roots and n:
+            raise TreeError("parent map has no root")
+        if root is not None:
+            if root not in idx:
+                raise VertexNotFound(root)
+            if parent_idx[idx[root]] != -1:
+                raise TreeError(f"{root!r} is not a root of the parent map")
+            # Put the explicit root first so preorder starts there.
+            roots.remove(idx[root])
+            roots.insert(0, idx[root])
+
+        self._verts = verts
+        self._idx = idx
+        self._parent_idx = parent_idx
+        self._children_idx = children_idx
+        self._roots_idx = roots
+        self._compute_indices()
+        self._up: Optional[List[List[int]]] = None
+        self._log = max(1, (n - 1).bit_length()) if n else 1
+
+    # ------------------------------------------------------------------ #
+    # Index computation
+    # ------------------------------------------------------------------ #
+    def _compute_indices(self) -> None:
+        n = len(self._verts)
+        tin = [0] * n
+        tout = [0] * n
+        post = [0] * n
+        level = [0] * n
+        size = [1] * n
+        clock = 0
+        post_clock = 0
+        visited = 0
+        for r in self._roots_idx:
+            # Iterative DFS over the children lists (insertion order).
+            stack: List[Tuple[int, int]] = [(r, 0)]
+            level[r] = 0
+            while stack:
+                v, ci = stack[-1]
+                if ci == 0:
+                    tin[v] = clock
+                    clock += 1
+                    visited += 1
+                children = self._children_idx[v]
+                if ci < len(children):
+                    stack[-1] = (v, ci + 1)
+                    c = children[ci]
+                    level[c] = level[v] + 1
+                    stack.append((c, 0))
+                else:
+                    tout[v] = clock
+                    clock += 1
+                    post[v] = post_clock
+                    post_clock += 1
+                    stack.pop()
+                    if stack:
+                        size[stack[-1][0]] += size[v]
+        if visited != n:
+            raise TreeError("parent map contains a cycle")
+        self._tin = tin
+        self._tout = tout
+        self._post = post
+        self._level = level
+        self._size = size
+
+    def _build_lifting(self) -> List[List[int]]:
+        if self._up is None:
+            n = len(self._verts)
+            up: List[List[int]] = [list(self._parent_idx)]
+            for k in range(1, self._log + 1):
+                prev = up[-1]
+                up.append([(-1 if prev[v] == -1 else prev[prev[v]]) for v in range(n)])
+            self._up = up
+        return self._up
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices in the forest."""
+        return len(self._verts)
+
+    @property
+    def root(self) -> Vertex:
+        """The (first) root of the forest."""
+        if not self._roots_idx:
+            raise TreeError("empty tree has no root")
+        return self._verts[self._roots_idx[0]]
+
+    def roots(self) -> List[Vertex]:
+        """All roots of the forest."""
+        return [self._verts[r] for r in self._roots_idx]
+
+    def __contains__(self, v: Vertex) -> bool:
+        return v in self._idx
+
+    def __len__(self) -> int:
+        return len(self._verts)
+
+    def vertices(self) -> Iterator[Vertex]:
+        """Iterate over all vertices."""
+        return iter(self._verts)
+
+    def _i(self, v: Vertex) -> int:
+        try:
+            return self._idx[v]
+        except KeyError:
+            raise VertexNotFound(v) from None
+
+    def parent(self, v: Vertex) -> Optional[Vertex]:
+        """Parent of *v* (``None`` for a root)."""
+        p = self._parent_idx[self._i(v)]
+        return None if p == -1 else self._verts[p]
+
+    def children(self, v: Vertex) -> List[Vertex]:
+        """Children of *v* in deterministic order."""
+        return [self._verts[c] for c in self._children_idx[self._i(v)]]
+
+    def level(self, v: Vertex) -> int:
+        """Depth of *v* (roots have level 0)."""
+        return self._level[self._i(v)]
+
+    def postorder(self, v: Vertex) -> int:
+        """Post-order number of *v* (0-based, increasing towards the root)."""
+        return self._post[self._i(v)]
+
+    def subtree_size(self, v: Vertex) -> int:
+        """Number of vertices in ``T(v)``."""
+        return self._size[self._i(v)]
+
+    def parent_map(self) -> Dict[Vertex, Optional[Vertex]]:
+        """Return a plain parent map copy of the forest."""
+        out: Dict[Vertex, Optional[Vertex]] = {}
+        for i, v in enumerate(self._verts):
+            p = self._parent_idx[i]
+            out[v] = None if p == -1 else self._verts[p]
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Ancestry
+    # ------------------------------------------------------------------ #
+    def is_ancestor(self, a: Vertex, b: Vertex) -> bool:
+        """True iff *a* is an ancestor of *b* (not necessarily proper)."""
+        ai, bi = self._i(a), self._i(b)
+        return self._tin[ai] <= self._tin[bi] and self._tout[bi] <= self._tout[ai]
+
+    def _is_ancestor_idx(self, ai: int, bi: int) -> bool:
+        return self._tin[ai] <= self._tin[bi] and self._tout[bi] <= self._tout[ai]
+
+    def lca(self, a: Vertex, b: Vertex) -> Vertex:
+        """Lowest common ancestor of *a* and *b* (must be in the same tree)."""
+        ai, bi = self._i(a), self._i(b)
+        li = self._lca_idx(ai, bi)
+        if li == -1:
+            raise TreeError(f"{a!r} and {b!r} are in different trees of the forest")
+        return self._verts[li]
+
+    def _lca_idx(self, ai: int, bi: int) -> int:
+        if self._is_ancestor_idx(ai, bi):
+            return ai
+        if self._is_ancestor_idx(bi, ai):
+            return bi
+        up = self._build_lifting()
+        v = ai
+        for k in range(self._log, -1, -1):
+            cand = up[k][v]
+            if cand != -1 and not self._is_ancestor_idx(cand, bi):
+                v = cand
+        v = up[0][v]
+        if v == -1 or not self._is_ancestor_idx(v, bi):
+            return -1
+        return v
+
+    def level_ancestor(self, v: Vertex, target_level: int) -> Vertex:
+        """Ancestor of *v* at depth *target_level* (0 = root of v's tree)."""
+        vi = self._i(v)
+        cur_level = self._level[vi]
+        if target_level > cur_level or target_level < 0:
+            raise TreeError(
+                f"vertex {v!r} at level {cur_level} has no ancestor at level {target_level}"
+            )
+        steps = cur_level - target_level
+        up = self._build_lifting()
+        k = 0
+        while steps:
+            if steps & 1:
+                vi = up[k][vi]
+            steps >>= 1
+            k += 1
+        return self._verts[vi]
+
+    def child_towards(self, ancestor: Vertex, descendant: Vertex) -> Vertex:
+        """Child of *ancestor* on the tree path to *descendant*.
+
+        *ancestor* must be a proper ancestor of *descendant*.
+        """
+        if ancestor == descendant or not self.is_ancestor(ancestor, descendant):
+            raise TreeError(f"{ancestor!r} is not a proper ancestor of {descendant!r}")
+        return self.level_ancestor(descendant, self.level(ancestor) + 1)
+
+    def on_path(self, v: Vertex, a: Vertex, b: Vertex) -> bool:
+        """True iff *v* lies on the tree path between *a* and *b*."""
+        li = self._lca_idx(self._i(a), self._i(b))
+        if li == -1:
+            raise TreeError(f"{a!r} and {b!r} are in different trees")
+        vi = self._i(v)
+        if not self._is_ancestor_idx(li, vi):
+            return False
+        return self._is_ancestor_idx(vi, self._i(a)) or self._is_ancestor_idx(vi, self._i(b))
+
+    # ------------------------------------------------------------------ #
+    # Paths and subtrees
+    # ------------------------------------------------------------------ #
+    def ancestor_path(self, v: Vertex, top: Vertex) -> List[Vertex]:
+        """Vertices on the tree path from *v* up to its ancestor *top*, inclusive."""
+        if not self.is_ancestor(top, v):
+            raise TreeError(f"{top!r} is not an ancestor of {v!r}")
+        out = []
+        vi = self._i(v)
+        ti = self._i(top)
+        while vi != ti:
+            out.append(self._verts[vi])
+            vi = self._parent_idx[vi]
+        out.append(self._verts[ti])
+        return out
+
+    def path(self, a: Vertex, b: Vertex) -> List[Vertex]:
+        """Vertices on the tree path from *a* to *b* (both inclusive)."""
+        l = self.lca(a, b)
+        up_part = self.ancestor_path(a, l)
+        down_part = self.ancestor_path(b, l)
+        down_part.pop()  # drop the LCA, already in up_part
+        return up_part + list(reversed(down_part))
+
+    def path_length(self, a: Vertex, b: Vertex) -> int:
+        """Number of edges on the tree path from *a* to *b*."""
+        l = self.lca(a, b)
+        return self.level(a) + self.level(b) - 2 * self.level(l)
+
+    def subtree_vertices(self, v: Vertex) -> List[Vertex]:
+        """All vertices of ``T(v)`` in preorder."""
+        out: List[Vertex] = []
+        stack = [self._i(v)]
+        while stack:
+            x = stack.pop()
+            out.append(self._verts[x])
+            stack.extend(reversed(self._children_idx[x]))
+        return out
+
+    def preorder(self) -> List[Vertex]:
+        """All vertices of the forest in preorder (root first)."""
+        out: List[Vertex] = []
+        for r in self._roots_idx:
+            stack = [r]
+            while stack:
+                x = stack.pop()
+                out.append(self._verts[x])
+                stack.extend(reversed(self._children_idx[x]))
+        return out
+
+    def postorder_sequence(self) -> List[Vertex]:
+        """All vertices sorted by post-order number."""
+        order = sorted(range(len(self._verts)), key=lambda i: self._post[i])
+        return [self._verts[i] for i in order]
+
+    # ------------------------------------------------------------------ #
+    # Derived trees
+    # ------------------------------------------------------------------ #
+    def rerooted_subtree(self, new_parent: Mapping[Vertex, Optional[Vertex]]) -> "DFSTree":
+        """Return a new tree where the vertices in *new_parent* take their new
+        parents and every other vertex keeps its current parent."""
+        merged = self.parent_map()
+        merged.update(new_parent)
+        return DFSTree(merged, root=self.root if self.root in merged else None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"DFSTree(n={len(self._verts)}, roots={self.roots()!r})"

@@ -1,0 +1,81 @@
+"""Euler tours of rooted trees.
+
+The Euler tour technique (Tarjan–Vishkin, Theorem 4 in the paper) is the basic
+tool for computing tree functions in parallel: the tour linearises the tree so
+that level, subtree size and post-order numbers become prefix-sum problems.  The
+sequential constructions here are used by :class:`repro.tree.lca.EulerTourLCA`;
+the metered parallel constructions live in :mod:`repro.pram.tree_functions`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Tuple
+
+from repro.tree.dfs_tree import DFSTree
+
+Vertex = Hashable
+
+
+def euler_tour(tree: DFSTree, root: Vertex | None = None) -> Tuple[List[Vertex], Dict[Vertex, int], List[int]]:
+    """Return the Euler tour of *tree* (one tree of the forest).
+
+    Returns ``(tour, first_occurrence, depths)`` where ``tour`` lists the
+    vertices in tour order (each vertex appears ``degree`` times, ``2n-1``
+    entries in total), ``first_occurrence[v]`` is the index of the first
+    appearance of ``v`` and ``depths[i]`` is the depth of ``tour[i]``.
+
+    The tour visits a vertex, recursively tours each child and returns to the
+    vertex after each child — the classical "walk around the tree" order used
+    for sparse-table LCA.
+    """
+    if root is None:
+        root = tree.root
+    tour: List[Vertex] = []
+    first: Dict[Vertex, int] = {}
+    depths: List[int] = []
+
+    # Iterative DFS producing the Euler tour.
+    stack: List[Tuple[Vertex, int]] = [(root, 0)]
+    while stack:
+        v, ci = stack[-1]
+        if ci == 0:
+            first.setdefault(v, len(tour))
+            tour.append(v)
+            depths.append(tree.level(v))
+        children = tree.children(v)
+        if ci < len(children):
+            stack[-1] = (v, ci + 1)
+            stack.append((children[ci], 0))
+        else:
+            stack.pop()
+            if stack:
+                u = stack[-1][0]
+                tour.append(u)
+                depths.append(tree.level(u))
+    return tour, first, depths
+
+
+def edge_tour(tree: DFSTree, root: Vertex | None = None) -> List[Tuple[Vertex, Vertex]]:
+    """Return the Euler tour as a list of directed tree edges.
+
+    Each tree edge ``(u, v)`` appears twice: once as ``(u, v)`` when the tour
+    descends into ``v`` and once as ``(v, u)`` when it returns.  This is the
+    representation used by the list-ranking based parallel constructions.
+    """
+    if root is None:
+        root = tree.root
+    tour: List[Tuple[Vertex, Vertex]] = []
+    stack: List[Tuple[Vertex, int]] = [(root, 0)]
+    while stack:
+        v, ci = stack[-1]
+        children = tree.children(v)
+        if ci < len(children):
+            stack[-1] = (v, ci + 1)
+            c = children[ci]
+            tour.append((v, c))
+            stack.append((c, 0))
+        else:
+            stack.pop()
+            if stack:
+                tour.append((v, stack[-1][0]))
+    return tour

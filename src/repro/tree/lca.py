@@ -1,0 +1,117 @@
+"""Lowest-common-ancestor indices.
+
+Two interchangeable implementations:
+
+* :class:`BinaryLiftingLCA` — sparse ancestor table, ``O(n log n)`` build,
+  ``O(log n)`` query, also answers level-ancestor queries.
+* :class:`EulerTourLCA` — Euler tour + sparse table over depths, ``O(n log n)``
+  build, ``O(1)`` query.  This is the classical stand-in for Schieber–Vishkin
+  (Theorem 5/6 of the paper): the query bound matches and the construction
+  parallelises with ``O(log n)`` depth (see :mod:`repro.pram.lca_parallel`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List
+
+from repro.exceptions import TreeError
+from repro.tree.dfs_tree import DFSTree
+from repro.tree.euler import euler_tour
+
+Vertex = Hashable
+
+
+class BinaryLiftingLCA:
+    """LCA/level-ancestor queries via binary lifting.
+
+    This simply delegates to the lazily-built lifting table inside
+    :class:`DFSTree`; it exists so callers can depend on an explicit index
+    object with the same interface as :class:`EulerTourLCA`.
+    """
+
+    def __init__(self, tree: DFSTree) -> None:
+        self._tree = tree
+
+    def lca(self, a: Vertex, b: Vertex) -> Vertex:
+        """Lowest common ancestor of *a* and *b*."""
+        return self._tree.lca(a, b)
+
+    def is_ancestor(self, a: Vertex, b: Vertex) -> bool:
+        """True iff *a* is an ancestor of *b*."""
+        return self._tree.is_ancestor(a, b)
+
+    def level_ancestor(self, v: Vertex, level: int) -> Vertex:
+        """Ancestor of *v* at the given depth."""
+        return self._tree.level_ancestor(v, level)
+
+
+class EulerTourLCA:
+    """Constant-time LCA queries via Euler tour + sparse table (range-minimum).
+
+    Build time and space are ``O(n log n)``; each query performs two table
+    look-ups.  Only vertices of the tree containing ``root`` are indexed.
+    """
+
+    def __init__(self, tree: DFSTree, root: Vertex | None = None) -> None:
+        self._tree = tree
+        tour, first, depths = euler_tour(tree, root)
+        self._tour = tour
+        self._first = first
+        m = len(tour)
+        self._log_table = self._build_log_table(m)
+        self._sparse = self._build_sparse(depths)
+
+    @staticmethod
+    def _build_log_table(m: int) -> List[int]:
+        log = [0] * (m + 1)
+        for i in range(2, m + 1):
+            log[i] = log[i // 2] + 1
+        return log
+
+    def _build_sparse(self, depths: List[int]) -> List[List[int]]:
+        m = len(depths)
+        if m == 0:
+            return [[]]
+        levels = self._log_table[m] + 1
+        # sparse[k][i] = index (into the tour) of the minimum-depth entry in
+        # tour[i : i + 2^k].
+        sparse: List[List[int]] = [list(range(m))]
+        for k in range(1, levels):
+            half = 1 << (k - 1)
+            prev = sparse[k - 1]
+            width = m - (1 << k) + 1
+            row = []
+            for i in range(max(width, 0)):
+                left = prev[i]
+                right = prev[i + half]
+                row.append(left if depths[left] <= depths[right] else right)
+            sparse.append(row)
+        self._depths = depths
+        return sparse
+
+    def _range_min_index(self, lo: int, hi: int) -> int:
+        """Index of the minimum-depth tour entry in the inclusive range [lo, hi]."""
+        span = hi - lo + 1
+        k = self._log_table[span]
+        left = self._sparse[k][lo]
+        right = self._sparse[k][hi - (1 << k) + 1]
+        return left if self._depths[left] <= self._depths[right] else right
+
+    def lca(self, a: Vertex, b: Vertex) -> Vertex:
+        """Lowest common ancestor of *a* and *b* (O(1))."""
+        try:
+            ia, ib = self._first[a], self._first[b]
+        except KeyError as exc:
+            raise TreeError(f"vertex {exc.args[0]!r} is not indexed by this LCA structure") from None
+        if ia > ib:
+            ia, ib = ib, ia
+        return self._tour[self._range_min_index(ia, ib)]
+
+    def is_ancestor(self, a: Vertex, b: Vertex) -> bool:
+        """True iff *a* is an ancestor of *b*."""
+        return self.lca(a, b) == a
+
+    def distance(self, a: Vertex, b: Vertex) -> int:
+        """Number of tree edges between *a* and *b*."""
+        l = self.lca(a, b)
+        return self._tree.level(a) + self._tree.level(b) - 2 * self._tree.level(l)

@@ -1,0 +1,194 @@
+"""Path and subtree utilities on :class:`~repro.tree.dfs_tree.DFSTree`.
+
+These helpers implement the "operations on T" of Section 5.3 of the paper:
+finding subtrees hanging from a path, locating the minimal heavy subtree
+``T(v_H)``, testing whether an edge is a back edge, and decomposing an arbitrary
+path of the *new* tree into ancestor–descendant segments of the *old* tree
+(needed both for ``Process-Comp`` and for the fault-tolerant extension of the
+data structure ``D``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import TreeError
+from repro.tree.dfs_tree import DFSTree
+
+Vertex = Hashable
+
+
+def tree_path(tree: DFSTree, a: Vertex, b: Vertex) -> List[Vertex]:
+    """Vertices of the tree path from *a* to *b* (inclusive)."""
+    return tree.path(a, b)
+
+
+def is_back_edge(tree: DFSTree, u: Vertex, v: Vertex) -> bool:
+    """True iff ``(u, v)`` joins an ancestor–descendant pair of *tree*."""
+    return tree.is_ancestor(u, v) or tree.is_ancestor(v, u)
+
+
+def is_vertical_path(tree: DFSTree, vertices: Sequence[Vertex]) -> bool:
+    """True iff *vertices* (in order) form an ancestor–descendant tree path.
+
+    The sequence may run top-down or bottom-up; every consecutive pair must be a
+    parent/child pair and the direction must not change.
+    """
+    if len(vertices) <= 1:
+        return True
+    direction = 0  # +1 going down (levels increase), -1 going up
+    for a, b in zip(vertices, vertices[1:]):
+        if tree.parent(b) == a:
+            step = 1
+        elif tree.parent(a) == b:
+            step = -1
+        else:
+            return False
+        if direction == 0:
+            direction = step
+        elif direction != step:
+            return False
+    return True
+
+
+def hanging_subtrees(
+    tree: DFSTree,
+    path_vertices: Iterable[Vertex],
+    *,
+    exclude: Optional[Iterable[Vertex]] = None,
+) -> List[Vertex]:
+    """Roots of the subtrees hanging from *path_vertices*.
+
+    A subtree ``T(w)`` *hangs* from a path ``p`` when ``parent(w) ∈ p`` and
+    ``w ∉ p`` (Section 2 of the paper).  *exclude* lists additional vertices
+    whose subtrees must be skipped (e.g. the continuation of the path itself in
+    a larger structure).  Roots are returned in path order, then child order.
+    """
+    on_path = set(path_vertices)
+    excluded = set(exclude) if exclude is not None else set()
+    roots: List[Vertex] = []
+    for v in path_vertices:
+        for c in tree.children(v):
+            if c in on_path or c in excluded:
+                continue
+            roots.append(c)
+    return roots
+
+
+def heavy_vertex(tree: DFSTree, subtree_root: Vertex, threshold: int) -> Vertex:
+    """The vertex ``v_H``: the *smallest* subtree of ``T(subtree_root)`` with
+    more than *threshold* vertices.
+
+    ``T(subtree_root)`` itself must exceed *threshold*.  Because any two heavy
+    children would together exceed the parent's size, heavy vertices form a
+    single downward chain; ``v_H`` is its deepest vertex.
+    """
+    if tree.subtree_size(subtree_root) <= threshold:
+        raise TreeError(
+            f"subtree at {subtree_root!r} has size {tree.subtree_size(subtree_root)}"
+            f" <= threshold {threshold}"
+        )
+    v = subtree_root
+    while True:
+        heavy_children = [c for c in tree.children(v) if tree.subtree_size(c) > threshold]
+        if not heavy_children:
+            return v
+        if len(heavy_children) > 1:
+            # Cannot happen for threshold >= size/2; defensive guard.
+            heavy_children.sort(key=tree.subtree_size, reverse=True)
+        v = heavy_children[0]
+
+
+def heavy_chain(tree: DFSTree, subtree_root: Vertex, threshold: int) -> List[Vertex]:
+    """The chain of heavy vertices from *subtree_root* down to ``v_H``."""
+    chain = [subtree_root]
+    v = subtree_root
+    while True:
+        heavy_children = [c for c in tree.children(v) if tree.subtree_size(c) > threshold]
+        if not heavy_children:
+            return chain
+        v = max(heavy_children, key=tree.subtree_size)
+        chain.append(v)
+
+
+def ancestor_descendant_segments(
+    tree: DFSTree, vertices: Sequence[Vertex]
+) -> List[List[Vertex]]:
+    """Split an ordered vertex sequence into maximal ancestor–descendant runs.
+
+    The rerooting algorithm adds paths to the new tree ``T*`` that are unions of
+    a constant number of ancestor–descendant paths of the old tree ``T``, glued
+    by back edges (e.g. ``path(r_c, x) ∪ (x, y) ∪ path(y, r')``).  Queries on the
+    data structure ``D`` only understand ancestor–descendant paths of ``T``, so
+    this helper recovers the decomposition: it scans the sequence and starts a
+    new segment whenever the next vertex is not a tree neighbour of the current
+    one or the vertical direction flips.
+    """
+    segs: List[List[Vertex]] = []
+    if not vertices:
+        return segs
+    cur: List[Vertex] = [vertices[0]]
+    direction = 0
+    for a, b in zip(vertices, vertices[1:]):
+        if tree.parent(b) == a:
+            step = 1
+        elif tree.parent(a) == b:
+            step = -1
+        else:
+            step = 0  # non-tree jump
+        if step == 0 or (direction != 0 and step != direction):
+            segs.append(cur)
+            cur = [b]
+            direction = 0
+        else:
+            cur.append(b)
+            direction = step
+    segs.append(cur)
+    return segs
+
+
+def segment_orientation(tree: DFSTree, segment: Sequence[Vertex]) -> Tuple[Vertex, Vertex]:
+    """Return ``(top, bottom)`` endpoints of a vertical *segment* of *tree*."""
+    first, last = segment[0], segment[-1]
+    if tree.level(first) <= tree.level(last):
+        return first, last
+    return last, first
+
+
+def split_path_at(path_vertices: Sequence[Vertex], vertex: Vertex) -> Tuple[List[Vertex], List[Vertex]]:
+    """Split *path_vertices* at *vertex*.
+
+    Returns ``(prefix, suffix)`` where ``prefix`` ends at *vertex* (inclusive)
+    and ``suffix`` starts right after it.  Raises :class:`ValueError` when the
+    vertex is not on the path.
+    """
+    try:
+        i = list(path_vertices).index(vertex)
+    except ValueError:
+        raise ValueError(f"{vertex!r} is not on the given path") from None
+    lst = list(path_vertices)
+    return lst[: i + 1], lst[i + 1 :]
+
+
+def farther_endpoint(tree: DFSTree, path_vertices: Sequence[Vertex], v: Vertex) -> Vertex:
+    """Endpoint of *path_vertices* farther (in tree distance) from *v* on it.
+
+    *v* must lie on the path.  Used by the path-halving traversal: the DFS walks
+    from ``r_c`` towards the farther end so the untraversed remainder has at
+    most half the length.
+    """
+    lst = list(path_vertices)
+    if v not in lst:
+        raise ValueError(f"{v!r} is not on the given path")
+    i = lst.index(v)
+    return lst[0] if i >= len(lst) - 1 - i else lst[-1]
+
+
+def subtree_vertex_count(tree: DFSTree, roots: Iterable[Vertex]) -> int:
+    """Total number of vertices in the (disjoint) subtrees rooted at *roots*."""
+    return sum(tree.subtree_size(r) for r in roots)
+
+
+def path_level_map(tree: DFSTree, path_vertices: Sequence[Vertex]) -> Dict[Vertex, int]:
+    """Map each path vertex to its position on the path (0 = first)."""
+    return {v: i for i, v in enumerate(path_vertices)}

@@ -1,0 +1,23 @@
+"""Workload generators: update sequences and named evaluation scenarios."""
+
+from repro.workloads.updates import (
+    UpdateSequenceGenerator,
+    adversarial_comb_updates,
+    edge_churn,
+    failure_burst,
+    mixed_updates,
+    vertex_churn,
+)
+from repro.workloads.scenarios import SCENARIOS, Scenario, build_scenario
+
+__all__ = [
+    "UpdateSequenceGenerator",
+    "mixed_updates",
+    "edge_churn",
+    "vertex_churn",
+    "failure_burst",
+    "adversarial_comb_updates",
+    "Scenario",
+    "SCENARIOS",
+    "build_scenario",
+]

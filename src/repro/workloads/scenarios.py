@@ -1,0 +1,143 @@
+"""Named evaluation scenarios: (graph, update sequence) pairs used by the
+benchmarks (EXPERIMENTS.md) and the example applications."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.core.updates import Update
+from repro.graph.generators import (
+    broom_graph,
+    caterpillar_graph,
+    comb_with_back_edges,
+    cycle_with_chords,
+    gnp_random_graph,
+    grid_graph,
+    path_graph,
+)
+from repro.graph.graph import UndirectedGraph
+from repro.workloads.updates import (
+    adversarial_comb_updates,
+    edge_churn,
+    failure_burst,
+    mixed_updates,
+    vertex_churn,
+)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A reproducible workload: a graph plus an update sequence."""
+
+    name: str
+    description: str
+    graph: UndirectedGraph
+    updates: List[Update]
+
+    @property
+    def n(self) -> int:
+        return self.graph.num_vertices
+
+    @property
+    def m(self) -> int:
+        return self.graph.num_edges
+
+
+def _social_network(n: int, seed: int, updates: int) -> Scenario:
+    graph = gnp_random_graph(n, min(8.0 / max(n, 1), 0.5), seed=seed, connected=True)
+    return Scenario(
+        name="social_network_churn",
+        description="sparse random graph with node arrivals/departures (membership churn)",
+        graph=graph,
+        updates=vertex_churn(graph, updates, seed=seed + 1),
+    )
+
+
+def _datacenter_links(n: int, seed: int, updates: int) -> Scenario:
+    side = max(int(n ** 0.5), 2)
+    graph = grid_graph(side, side)
+    return Scenario(
+        name="datacenter_link_flaps",
+        description="grid topology with link failures and recoveries",
+        graph=graph,
+        updates=edge_churn(graph, updates, seed=seed),
+    )
+
+
+def _road_closures(n: int, seed: int, updates: int) -> Scenario:
+    graph = cycle_with_chords(n, max(n // 10, 1), seed=seed)
+    return Scenario(
+        name="road_closures",
+        description="ring-with-chords topology with mixed closures and new links",
+        graph=graph,
+        updates=mixed_updates(graph, updates, seed=seed + 7),
+    )
+
+
+def _adversarial_comb(n: int, seed: int, updates: int) -> Scenario:
+    teeth = max(n // 10, 4)
+    tooth = 9
+    graph = comb_with_back_edges(teeth, tooth)
+    ups = adversarial_comb_updates(teeth, tooth)[: max(updates, 2)]
+    return Scenario(
+        name="adversarial_comb",
+        description="comb graph whose spine deletions force long sequential reroot chains",
+        graph=graph,
+        updates=ups,
+    )
+
+
+def _broom_failures(n: int, seed: int, updates: int) -> Scenario:
+    handle = max(n // 2, 4)
+    graph = broom_graph(handle, n - handle)
+    return Scenario(
+        name="broom_failures",
+        description="broom graph under random failures (deep path + wide fringe)",
+        graph=graph,
+        updates=failure_burst(graph, updates, seed=seed),
+    )
+
+
+def _caterpillar_mixed(n: int, seed: int, updates: int) -> Scenario:
+    spine = max(n // 4, 4)
+    graph = caterpillar_graph(spine, 3)
+    return Scenario(
+        name="caterpillar_mixed",
+        description="caterpillar graph under mixed updates",
+        graph=graph,
+        updates=mixed_updates(graph, updates, seed=seed + 3),
+    )
+
+
+def _long_path(n: int, seed: int, updates: int) -> Scenario:
+    graph = path_graph(n)
+    return Scenario(
+        name="long_path",
+        description="path graph (maximum diameter) under edge churn",
+        graph=graph,
+        updates=edge_churn(graph, updates, seed=seed + 11),
+    )
+
+
+SCENARIOS: Dict[str, Callable[[int, int, int], Scenario]] = {
+    "social_network_churn": _social_network,
+    "datacenter_link_flaps": _datacenter_links,
+    "road_closures": _road_closures,
+    "adversarial_comb": _adversarial_comb,
+    "broom_failures": _broom_failures,
+    "caterpillar_mixed": _caterpillar_mixed,
+    "long_path": _long_path,
+}
+
+
+def build_scenario(name: str, *, n: int = 200, seed: int = 0, updates: int = 30) -> Scenario:
+    """Instantiate a named scenario at the requested size.
+
+    Raises ``KeyError`` with the list of known names for typos.
+    """
+    try:
+        factory = SCENARIOS[name]
+    except KeyError:
+        raise KeyError(f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}") from None
+    return factory(n, seed, updates)

@@ -1,0 +1,174 @@
+"""Random and adversarial update-sequence generators.
+
+All generators are deterministic given a seed and *consistent*: they simulate
+the updates on a scratch copy of the graph while generating, so a produced
+sequence never deletes a missing edge, re-inserts an existing one, etc. — it can
+be replayed verbatim against any of the dynamic-DFS implementations.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional, Sequence
+
+from repro.core.updates import (
+    EdgeDeletion,
+    EdgeInsertion,
+    Update,
+    VertexDeletion,
+    VertexInsertion,
+)
+from repro.graph.graph import UndirectedGraph
+
+
+class UpdateSequenceGenerator:
+    """Stateful generator of valid update sequences for a given graph.
+
+    Parameters
+    ----------
+    graph:
+        The starting graph (copied; the original is never touched).
+    seed:
+        RNG seed.
+    vertex_id_start:
+        Ids for inserted vertices are drawn from this counter upward, so they
+        never collide with existing vertices (which the standard generators
+        number from 0).
+    """
+
+    def __init__(self, graph: UndirectedGraph, *, seed: Optional[int] = None, vertex_id_start: int = 10**9) -> None:
+        self._graph = graph.copy()
+        self._rng = random.Random(seed)
+        self._next_vertex = vertex_id_start
+
+    @property
+    def graph(self) -> UndirectedGraph:
+        """The graph state after every update generated so far."""
+        return self._graph
+
+    # ------------------------------------------------------------------ #
+    # Single-update generators
+    # ------------------------------------------------------------------ #
+    def random_edge_deletion(self) -> Optional[EdgeDeletion]:
+        """Delete a uniformly random existing edge (None if the graph has no edges)."""
+        edges = list(self._graph.edges())
+        if not edges:
+            return None
+        u, v = self._rng.choice(edges)
+        self._graph.remove_edge(u, v)
+        return EdgeDeletion(u, v)
+
+    def random_edge_insertion(self, attempts: int = 50) -> Optional[EdgeInsertion]:
+        """Insert a uniformly random missing edge (None if none found)."""
+        verts = list(self._graph.vertices())
+        if len(verts) < 2:
+            return None
+        for _ in range(attempts):
+            u, v = self._rng.sample(verts, 2)
+            if not self._graph.has_edge(u, v):
+                self._graph.add_edge(u, v)
+                return EdgeInsertion(u, v)
+        return None
+
+    def random_vertex_deletion(self) -> Optional[VertexDeletion]:
+        """Delete a uniformly random vertex (None if the graph is empty)."""
+        verts = list(self._graph.vertices())
+        if not verts:
+            return None
+        v = self._rng.choice(verts)
+        self._graph.remove_vertex(v)
+        return VertexDeletion(v)
+
+    def random_vertex_insertion(self, max_degree: int = 5) -> VertexInsertion:
+        """Insert a fresh vertex with up to *max_degree* random neighbours."""
+        verts = list(self._graph.vertices())
+        k = self._rng.randint(0, min(max_degree, len(verts)))
+        neighbors = tuple(self._rng.sample(verts, k)) if k else ()
+        v = self._next_vertex
+        self._next_vertex += 1
+        self._graph.add_vertex_with_edges(v, neighbors)
+        return VertexInsertion(v, neighbors)
+
+    def random_update(
+        self,
+        *,
+        weights: Optional[dict] = None,
+    ) -> Update:
+        """One random update; *weights* maps ``{"edge_del", "edge_ins",
+        "vertex_del", "vertex_ins"}`` to relative probabilities."""
+        weights = weights or {"edge_del": 1.0, "edge_ins": 1.0, "vertex_del": 0.3, "vertex_ins": 0.3}
+        while True:
+            kinds = list(weights)
+            probs = [weights[k] for k in kinds]
+            kind = self._rng.choices(kinds, probs)[0]
+            upd: Optional[Update]
+            if kind == "edge_del":
+                upd = self.random_edge_deletion()
+            elif kind == "edge_ins":
+                upd = self.random_edge_insertion()
+            elif kind == "vertex_del":
+                upd = self.random_vertex_deletion() if self._graph.num_vertices > 2 else None
+            else:
+                upd = self.random_vertex_insertion()
+            if upd is not None:
+                return upd
+
+    def sequence(self, count: int, *, weights: Optional[dict] = None) -> List[Update]:
+        """A sequence of *count* random updates."""
+        return [self.random_update(weights=weights) for _ in range(count)]
+
+
+# --------------------------------------------------------------------------- #
+# Convenience wrappers used by tests and benchmarks
+# --------------------------------------------------------------------------- #
+def mixed_updates(graph: UndirectedGraph, count: int, *, seed: Optional[int] = None) -> List[Update]:
+    """A mixed sequence of edge and vertex insertions/deletions."""
+    return UpdateSequenceGenerator(graph, seed=seed).sequence(count)
+
+
+def edge_churn(graph: UndirectedGraph, count: int, *, seed: Optional[int] = None) -> List[Update]:
+    """Edge-only churn: alternating random deletions and insertions."""
+    gen = UpdateSequenceGenerator(graph, seed=seed)
+    return gen.sequence(count, weights={"edge_del": 1.0, "edge_ins": 1.0})
+
+
+def vertex_churn(graph: UndirectedGraph, count: int, *, seed: Optional[int] = None) -> List[Update]:
+    """Vertex-only churn: node arrivals and departures (a social-network style
+    workload, the motivation in the paper's introduction)."""
+    gen = UpdateSequenceGenerator(graph, seed=seed)
+    return gen.sequence(count, weights={"vertex_del": 1.0, "vertex_ins": 1.0})
+
+
+def failure_burst(graph: UndirectedGraph, k: int, *, seed: Optional[int] = None) -> List[Update]:
+    """A batch of *k* deletions (edge or vertex failures) for the fault-tolerant
+    experiments."""
+    gen = UpdateSequenceGenerator(graph, seed=seed)
+    out: List[Update] = []
+    while len(out) < k:
+        if gen.graph.num_vertices > 2 and gen._rng.random() < 0.3:
+            upd: Optional[Update] = gen.random_vertex_deletion()
+        else:
+            upd = gen.random_edge_deletion()
+        if upd is None:
+            upd = gen.random_vertex_deletion()
+        if upd is None:
+            break
+        out.append(upd)
+    return out
+
+
+def adversarial_comb_updates(teeth: int, tooth_length: int) -> List[Update]:
+    """Updates that repeatedly force a long rerooting chain on a comb graph.
+
+    Designed for :func:`repro.graph.generators.comb_with_back_edges`: deleting
+    the spine edge ``(0, 1)`` forces the whole comb (minus the first tooth) to
+    be rerooted through a chain of tooth-by-tooth reroots in the sequential
+    baseline, while the parallel algorithm disintegrates it in ``O(log^2 n)``
+    rounds.  The edge is re-inserted after each deletion so the update can be
+    repeated.
+    """
+    updates: List[Update] = []
+    for _ in range(max(teeth // 2, 1)):
+        updates.append(EdgeDeletion(0, 1))
+        updates.append(EdgeInsertion(0, 1))
+    return updates

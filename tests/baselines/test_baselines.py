@@ -1,0 +1,58 @@
+"""Tests for the baselines (static recomputation, naive reroot)."""
+
+from tests.helpers import make_updates
+from repro.baselines.naive_reroot import naive_reroot_subtree
+from repro.baselines.static_recompute import StaticRecomputeDFS
+from repro.constants import VIRTUAL_ROOT
+from repro.core.dynamic_dfs import FullyDynamicDFS
+from repro.core.reduction import RerootTask
+from repro.graph.generators import gnp_random_graph
+from repro.graph.traversal import static_dfs_forest
+from repro.graph.validation import check_dfs_tree
+from repro.metrics.counters import MetricsRecorder
+from repro.tree.dfs_tree import DFSTree
+
+
+def test_static_recompute_matches_dynamic_vertex_sets():
+    graph = gnp_random_graph(35, 0.1, seed=1, connected=True)
+    updates = make_updates(graph, 12, seed=5)
+    baseline = StaticRecomputeDFS(graph)
+    dynamic = FullyDynamicDFS(graph, validate=True)
+    for upd in updates:
+        baseline.apply(upd)
+        dynamic.apply(upd)
+        assert baseline.is_valid()
+        # Same graph, so same vertex set and same partition into components
+        # (the trees themselves may legitimately differ).
+        assert set(baseline.parent_map()) == set(dynamic.tree.parent_map())
+        base_roots = set(baseline.tree.children(VIRTUAL_ROOT))
+        dyn_roots = set(dynamic.roots())
+        assert len(base_roots) == len(dyn_roots)
+
+
+def test_static_recompute_counts_work():
+    graph = gnp_random_graph(30, 0.1, seed=2, connected=True)
+    metrics = MetricsRecorder()
+    baseline = StaticRecomputeDFS(graph, metrics=metrics)
+    baseline.apply_all(make_updates(graph, 5, seed=1))
+    assert metrics["full_recomputations"] == 6  # initial + one per update
+    assert metrics["static_work"] > 0
+
+
+def test_naive_reroot_produces_valid_tree():
+    metrics = MetricsRecorder()
+    graph = gnp_random_graph(40, 0.12, seed=3, connected=True)
+    tree = DFSTree(static_dfs_forest(graph), root=VIRTUAL_ROOT)
+    subtree_root = tree.children(tree.children(VIRTUAL_ROOT)[0])[0]
+    vertices = tree.subtree_vertices(subtree_root)
+    attach = tree.parent(subtree_root)
+    # The new root must actually be adjacent to the attach vertex (in the real
+    # algorithm the attach edge is always a graph edge found by a query).
+    new_root = max(v for v in vertices if graph.has_edge(attach, v))
+    task = RerootTask(subtree_root=subtree_root, new_root=new_root, attach=attach)
+    assignment = naive_reroot_subtree(graph, tree, task, metrics=metrics)
+    parent = tree.parent_map()
+    parent.update(assignment)
+    assert check_dfs_tree(graph, parent) == []
+    assert metrics["naive_reroots"] == 1
+    assert metrics["naive_reroot_vertices"] == len(vertices)

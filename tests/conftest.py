@@ -1,0 +1,27 @@
+"""Shared fixtures for the test suite (helpers live in ``tests.helpers``)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graph.generators import gnp_random_graph
+from repro.graph.graph import UndirectedGraph
+from tests.helpers import small_graph_family
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(12345)
+
+
+@pytest.fixture
+def random_graph() -> UndirectedGraph:
+    return gnp_random_graph(40, 0.1, seed=7, connected=True)
+
+
+@pytest.fixture(params=[name for name, _ in small_graph_family()])
+def any_graph(request) -> UndirectedGraph:
+    mapping = dict(small_graph_family())
+    return mapping[request.param]

@@ -1,0 +1,135 @@
+"""DQueryService must agree with the brute-force oracle on random queries."""
+
+import random
+
+import pytest
+
+from repro.core.queries import BruteForceQueryService, DQueryService, EdgeQuery
+from repro.core.structure_d import StructureD
+from repro.graph.generators import gnp_random_graph
+from repro.graph.traversal import static_dfs_tree
+from repro.tree.dfs_tree import DFSTree
+
+
+def build(seed=0, n=45, p=0.1):
+    g = gnp_random_graph(n, p, seed=seed, connected=True)
+    tree = DFSTree(static_dfs_tree(g, 0), root=0)
+    d = StructureD(g, tree)
+    return g, tree, DQueryService(d), BruteForceQueryService(g, tree)
+
+
+def random_vertical_path(tree, rng):
+    verts = list(tree.vertices())
+    bottom = rng.choice(verts)
+    chain = [bottom]
+    while tree.parent(chain[-1]) is not None:
+        chain.append(tree.parent(chain[-1]))
+    top_idx = rng.randrange(len(chain))
+    seg = chain[: top_idx + 1]  # bottom .. top
+    return list(reversed(seg))  # top .. bottom
+
+
+def assert_same_position(q, a, b):
+    pos = {v: i for i, v in enumerate(q.target)}
+    if a is None or b is None:
+        assert a is None and b is None
+    else:
+        assert pos[a[1]] == pos[b[1]], (a, b)
+
+
+def test_edge_query_validation():
+    with pytest.raises(ValueError):
+        EdgeQuery("tree", (1, 2))
+    with pytest.raises(ValueError):
+        EdgeQuery("path", (1, 2))
+    with pytest.raises(ValueError):
+        EdgeQuery("bogus", (1, 2), source_vertices=(3,))
+    q = EdgeQuery.from_vertices([5], [1, 2])
+    assert q.source_size(None) == 1
+
+
+def test_tree_source_queries_match_oracle():
+    rng = random.Random(4)
+    for seed in range(3):
+        g, tree, fast, brute = build(seed=seed)
+        verts = list(tree.vertices())
+        queries = []
+        for _ in range(150):
+            root = rng.choice(verts)
+            target_path = random_vertical_path(tree, rng)
+            target = [v for v in target_path if not tree.is_ancestor(root, v)]
+            if not target:
+                continue
+            queries.append(
+                EdgeQuery.from_tree(root, tuple(target), prefer_last=rng.random() < 0.5)
+            )
+        fast_answers = fast.answer_batch(queries)
+        brute_answers = brute.answer_batch(queries)
+        for q, fa, ba in zip(queries, fast_answers, brute_answers):
+            assert_same_position(q, fa, ba)
+
+
+def test_path_source_queries_match_oracle():
+    rng = random.Random(5)
+    for seed in range(3):
+        g, tree, fast, brute = build(seed=seed + 10)
+        queries = []
+        for _ in range(150):
+            src = random_vertical_path(tree, rng)
+            tgt_full = random_vertical_path(tree, rng)
+            src_set = set(src)
+            tgt = [v for v in tgt_full if v not in src_set]
+            if not tgt:
+                continue
+            queries.append(EdgeQuery.from_path(tuple(src), tuple(tgt), prefer_last=rng.random() < 0.5))
+        for q, fa, ba in zip(queries, fast.answer_batch(queries), brute.answer_batch(queries)):
+            assert_same_position(q, fa, ba)
+
+
+def test_composite_target_paths():
+    # Targets glued from several vertical runs (as produced by the traversals).
+    rng = random.Random(6)
+    g, tree, fast, brute = build(seed=21)
+    queries = []
+    for _ in range(100):
+        part1 = random_vertical_path(tree, rng)
+        part2 = random_vertical_path(tree, rng)
+        root = rng.choice(list(tree.vertices()))
+        target = []
+        seen = set()
+        for v in part1 + part2:
+            if v not in seen and not tree.is_ancestor(root, v):
+                seen.add(v)
+                target.append(v)
+        if not target:
+            continue
+        queries.append(EdgeQuery.from_tree(root, tuple(target), prefer_last=True))
+    for q, fa, ba in zip(queries, fast.answer_batch(queries), brute.answer_batch(queries)):
+        assert_same_position(q, fa, ba)
+
+
+def test_single_vertex_source():
+    g, tree, fast, brute = build(seed=33)
+    rng = random.Random(7)
+    queries = []
+    for _ in range(100):
+        v = rng.choice(list(tree.vertices()))
+        target = [w for w in random_vertical_path(tree, rng) if w != v]
+        if not target:
+            continue
+        queries.append(EdgeQuery.from_vertices((v,), tuple(target), prefer_last=rng.random() < 0.5))
+    for q, fa, ba in zip(queries, fast.answer_batch(queries), brute.answer_batch(queries)):
+        assert_same_position(q, fa, ba)
+
+
+def test_metrics_counting():
+    from repro.metrics.counters import MetricsRecorder
+
+    g, tree, _, _ = build(seed=2)
+    d = StructureD(g, tree)
+    metrics = MetricsRecorder()
+    service = DQueryService(d, metrics=metrics)
+    q = EdgeQuery.from_tree(list(tree.vertices())[5], (0,), prefer_last=True)
+    service.answer_batch([q, q])
+    assert metrics["query_batches"] == 1
+    assert metrics["queries"] == 2

@@ -1,0 +1,93 @@
+"""Tests for the graph generators (sizes, structure, determinism)."""
+
+import pytest
+
+from repro.graph import connected_components
+from repro.graph.generators import (
+    broom_graph,
+    caterpillar_graph,
+    comb_graph,
+    comb_with_back_edges,
+    complete_binary_tree,
+    complete_graph,
+    cycle_graph,
+    cycle_with_chords,
+    gnm_random_graph,
+    gnp_random_graph,
+    grid_graph,
+    lollipop_graph,
+    path_graph,
+    random_tree,
+    star_graph,
+)
+
+
+def test_path_star_cycle_complete_sizes():
+    assert path_graph(10).num_edges == 9
+    assert star_graph(10).num_edges == 9
+    assert cycle_graph(10).num_edges == 10
+    assert complete_graph(6).num_edges == 15
+    with pytest.raises(ValueError):
+        cycle_graph(2)
+
+
+def test_grid_graph_structure():
+    g = grid_graph(3, 4)
+    assert g.num_vertices == 12
+    assert g.num_edges == 3 * 3 + 2 * 4  # horizontal + vertical
+    assert g.has_edge(0, 1) and g.has_edge(0, 4)
+    assert not g.has_edge(3, 4)  # row wrap must not connect
+
+
+def test_complete_binary_tree():
+    g = complete_binary_tree(3)
+    assert g.num_vertices == 15
+    assert g.num_edges == 14
+    assert g.degree(0) == 2
+
+
+def test_gnp_deterministic_and_connected():
+    a = gnp_random_graph(60, 0.08, seed=5, connected=True)
+    b = gnp_random_graph(60, 0.08, seed=5, connected=True)
+    assert a == b
+    assert len(connected_components(a)) == 1
+    with pytest.raises(ValueError):
+        gnp_random_graph(10, 1.5)
+
+
+def test_gnm_exact_edge_count():
+    g = gnm_random_graph(30, 60, seed=1)
+    assert g.num_vertices == 30 and g.num_edges == 60
+    g2 = gnm_random_graph(30, 60, seed=1, connected=True)
+    assert g2.num_edges == 60 and len(connected_components(g2)) == 1
+    with pytest.raises(ValueError):
+        gnm_random_graph(4, 10)
+
+
+def test_random_tree_is_a_tree():
+    g = random_tree(50, seed=3)
+    assert g.num_edges == 49
+    assert len(connected_components(g)) == 1
+
+
+def test_broom_and_caterpillar_and_comb():
+    broom = broom_graph(5, 7)
+    assert broom.num_vertices == 12 and broom.num_edges == 11
+    assert broom.degree(4) == 8  # end of the handle carries the bristles
+
+    cat = caterpillar_graph(6, 2)
+    assert cat.num_vertices == 6 + 12
+    assert cat.degree(0) == 3  # spine end: one spine edge + two legs
+
+    comb = comb_graph(4, 3)
+    assert comb.num_vertices == 4 + 12
+    combb = comb_with_back_edges(4, 3)
+    assert combb.num_edges == comb.num_edges + 4  # one back edge per tooth tip
+
+
+def test_lollipop_and_cycle_with_chords():
+    lol = lollipop_graph(5, 4)
+    assert lol.num_vertices == 9
+    assert lol.num_edges == 10 + 4
+    cyc = cycle_with_chords(20, 5, seed=2)
+    assert cyc.num_edges == 25

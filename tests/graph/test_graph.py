@@ -1,0 +1,115 @@
+"""Unit tests for the dynamic graph store."""
+
+import pytest
+
+from repro.exceptions import DuplicateEdge, DuplicateVertex, EdgeNotFound, VertexNotFound
+from repro.graph.graph import UndirectedGraph
+
+
+def test_empty_graph():
+    g = UndirectedGraph()
+    assert g.num_vertices == 0
+    assert g.num_edges == 0
+    assert list(g.edges()) == []
+    assert not g.has_vertex(0)
+
+
+def test_construction_from_edges_adds_endpoints():
+    g = UndirectedGraph(edges=[(0, 1), (1, 2), (2, 0)])
+    assert g.num_vertices == 3
+    assert g.num_edges == 3
+    assert g.has_edge(2, 1) and g.has_edge(1, 2)
+
+
+def test_duplicate_edges_in_constructor_are_collapsed():
+    g = UndirectedGraph(edges=[(0, 1), (1, 0), (0, 1)])
+    assert g.num_edges == 1
+
+
+def test_add_and_remove_vertex():
+    g = UndirectedGraph(vertices=[0, 1, 2], edges=[(0, 1), (1, 2)])
+    g.add_vertex(3)
+    assert g.has_vertex(3) and g.degree(3) == 0
+    removed = g.remove_vertex(1)
+    assert set(removed) == {0, 2}
+    assert g.num_edges == 0
+    assert not g.has_vertex(1)
+
+
+def test_add_vertex_with_edges():
+    g = UndirectedGraph(vertices=[0, 1, 2])
+    nbrs = g.add_vertex_with_edges(9, [0, 2, 2])
+    assert nbrs == [0, 2]  # duplicates collapsed
+    assert g.degree(9) == 2 and g.has_edge(9, 0) and g.has_edge(2, 9)
+
+
+def test_add_vertex_with_unknown_neighbor_raises():
+    g = UndirectedGraph(vertices=[0])
+    with pytest.raises(VertexNotFound):
+        g.add_vertex_with_edges(5, [42])
+    assert not g.has_vertex(5)  # nothing was inserted
+
+
+def test_add_edge_errors():
+    g = UndirectedGraph(vertices=[0, 1])
+    g.add_edge(0, 1)
+    with pytest.raises(DuplicateEdge):
+        g.add_edge(1, 0)
+    with pytest.raises(VertexNotFound):
+        g.add_edge(0, 7)
+    with pytest.raises(ValueError):
+        g.add_edge(0, 0)
+    with pytest.raises(DuplicateVertex):
+        g.add_vertex(1)
+
+
+def test_remove_edge_errors():
+    g = UndirectedGraph(vertices=[0, 1, 2], edges=[(0, 1)])
+    g.remove_edge(1, 0)
+    with pytest.raises(EdgeNotFound):
+        g.remove_edge(0, 1)
+    with pytest.raises(EdgeNotFound):
+        g.remove_edge(0, 2)
+
+
+def test_edges_iterates_each_edge_once():
+    g = UndirectedGraph(edges=[(0, 1), (1, 2), (2, 3), (3, 0)])
+    edges = list(g.edges())
+    assert len(edges) == 4
+    assert len({frozenset(e) for e in edges}) == 4
+
+
+def test_copy_is_independent():
+    g = UndirectedGraph(edges=[(0, 1), (1, 2)])
+    h = g.copy()
+    h.remove_edge(0, 1)
+    assert g.has_edge(0, 1)
+    assert not h.has_edge(0, 1)
+    assert g == UndirectedGraph(edges=[(0, 1), (1, 2)])
+    assert g != h
+
+
+def test_subgraph_induces_edges():
+    g = UndirectedGraph(edges=[(0, 1), (1, 2), (2, 3), (3, 0), (1, 3)])
+    s = g.subgraph([0, 1, 3])
+    assert s.num_vertices == 3
+    assert s.has_edge(0, 1) and s.has_edge(3, 0) and s.has_edge(1, 3)
+    assert not s.has_vertex(2)
+    with pytest.raises(VertexNotFound):
+        g.subgraph([0, 99])
+
+
+def test_neighbor_list_and_degree():
+    g = UndirectedGraph(edges=[(0, 1), (0, 2), (0, 3)])
+    assert sorted(g.neighbor_list(0)) == [1, 2, 3]
+    assert g.degree(0) == 3 and g.degree(1) == 1
+    with pytest.raises(VertexNotFound):
+        g.degree(9)
+
+
+def test_adjacency_snapshot():
+    g = UndirectedGraph(edges=[(0, 1), (1, 2)])
+    adj = g.adjacency()
+    assert adj[1] == [0, 2] or set(adj[1]) == {0, 2}
+    adj[1].append(99)  # mutating the snapshot must not affect the graph
+    assert not g.has_edge(1, 99)

@@ -1,0 +1,81 @@
+"""Tests for the DFS-tree validity checker (the test suite's own oracle)."""
+
+from repro.constants import VIRTUAL_ROOT
+from repro.graph.generators import gnp_random_graph, path_graph
+from repro.graph.graph import UndirectedGraph
+from repro.graph.traversal import static_dfs_forest, static_dfs_tree
+from repro.graph.validation import (
+    check_dfs_tree,
+    is_back_edge,
+    is_valid_dfs_forest,
+    is_valid_dfs_tree,
+)
+
+
+def test_valid_tree_passes():
+    g = gnp_random_graph(30, 0.15, seed=1, connected=True)
+    parent = static_dfs_tree(g, 0)
+    assert check_dfs_tree(g, parent, require_spanning=True) == []
+
+
+def test_bfs_like_tree_with_cross_edge_fails():
+    # A triangle with a "BFS" tree rooted at 0: both 1 and 2 are children of 0,
+    # so edge (1, 2) is a cross edge and the tree is not a DFS tree.
+    g = UndirectedGraph(edges=[(0, 1), (0, 2), (1, 2)])
+    parent = {0: None, 1: 0, 2: 0}
+    problems = check_dfs_tree(g, parent)
+    assert any("cross edge" in p for p in problems)
+    assert not is_valid_dfs_tree(g, parent, 0)
+
+
+def test_missing_vertex_and_fake_edge_detected():
+    g = UndirectedGraph(edges=[(0, 1), (1, 2)])
+    assert any("missing" in p for p in check_dfs_tree(g, {0: None, 1: 0}))
+    # Tree edge that does not exist in the graph:
+    problems = check_dfs_tree(g, {0: None, 1: 0, 2: 0})
+    assert any("not a graph edge" in p for p in problems)
+
+
+def test_cycle_in_parent_map_detected():
+    g = UndirectedGraph(edges=[(0, 1), (1, 2), (2, 0)])
+    problems = check_dfs_tree(g, {0: 2, 1: 0, 2: 1})
+    assert any("not a forest" in p for p in problems)
+
+
+def test_virtual_root_edges_are_exempt():
+    g = UndirectedGraph(vertices=[0, 1], edges=[])
+    parent = {VIRTUAL_ROOT: None, 0: VIRTUAL_ROOT, 1: VIRTUAL_ROOT}
+    assert is_valid_dfs_forest(g, parent)
+
+
+def test_forest_with_cross_component_placement_fails():
+    # Both components hang from the virtual root, but vertex 3 is placed in the
+    # wrong component's subtree (edge (2,3) exists; (1,3) does not).
+    g = UndirectedGraph(vertices=[0, 1, 2, 3], edges=[(0, 1), (2, 3)])
+    bad = {VIRTUAL_ROOT: None, 0: VIRTUAL_ROOT, 1: 0, 2: VIRTUAL_ROOT, 3: 1}
+    assert not is_valid_dfs_forest(g, bad)
+
+
+def test_is_back_edge():
+    g = path_graph(5)
+    parent = static_dfs_tree(g, 0)
+    assert is_back_edge(parent, 4, 0)  # ancestor-descendant
+    star = UndirectedGraph(edges=[(0, 1), (0, 2)])
+    star_parent = {0: None, 1: 0, 2: 0}
+    assert not is_back_edge(star_parent, 1, 2)
+
+
+def test_is_valid_dfs_tree_requires_exact_component_cover():
+    g = UndirectedGraph(vertices=[0, 1, 2, 3], edges=[(0, 1), (1, 2)])
+    parent = static_dfs_tree(g, 0)
+    assert is_valid_dfs_tree(g, parent, 0)
+    # Covering only part of the component is not a valid DFS tree of it.
+    partial = {0: None, 1: 0}
+    assert not is_valid_dfs_tree(g, partial, 0)
+
+
+def test_static_forest_valid_on_random_disconnected_graphs():
+    for seed in range(4):
+        g = gnp_random_graph(35, 0.05, seed=seed)
+        parent = static_dfs_forest(g)
+        assert is_valid_dfs_forest(g, parent)

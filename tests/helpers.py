@@ -1,0 +1,51 @@
+"""Shared helpers for the test suite (importable as ``tests.helpers``)."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.updates import Update
+from repro.graph.generators import (
+    broom_graph,
+    caterpillar_graph,
+    comb_with_back_edges,
+    complete_binary_tree,
+    cycle_graph,
+    gnp_random_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graph.graph import UndirectedGraph
+from repro.workloads.updates import UpdateSequenceGenerator
+
+
+def small_graph_family() -> List[Tuple[str, UndirectedGraph]]:
+    """A deterministic zoo of small graphs covering all the structural cases the
+    rerooting algorithm distinguishes (deep paths, wide stars, heavy subtrees,
+    brooms/combs with back edges, random graphs, disconnected graphs)."""
+    graphs: List[Tuple[str, UndirectedGraph]] = [
+        ("path", path_graph(24)),
+        ("cycle", cycle_graph(17)),
+        ("star", star_graph(20)),
+        ("grid", grid_graph(5, 5)),
+        ("binary_tree", complete_binary_tree(4)),
+        ("broom", broom_graph(12, 12)),
+        ("caterpillar", caterpillar_graph(10, 3)),
+        ("comb", comb_with_back_edges(8, 4)),
+    ]
+    for seed in range(4):
+        graphs.append((f"gnp_{seed}", gnp_random_graph(30, 0.12, seed=seed, connected=True)))
+    graphs.append(("sparse_disconnected", gnp_random_graph(30, 0.04, seed=99)))
+    return graphs
+
+
+def make_updates(graph: UndirectedGraph, count: int, seed: int, *, vertex_updates: bool = True) -> List[Update]:
+    """A valid random update sequence for *graph* (replayable)."""
+    gen = UpdateSequenceGenerator(graph, seed=seed)
+    weights = (
+        {"edge_del": 1.0, "edge_ins": 1.0, "vertex_del": 0.4, "vertex_ins": 0.4}
+        if vertex_updates
+        else {"edge_del": 1.0, "edge_ins": 1.0}
+    )
+    return gen.sequence(count, weights=weights)

@@ -1,0 +1,75 @@
+"""Tests for the metrics substrate."""
+
+import math
+
+import pytest
+
+from repro.metrics.complexity import (
+    doubling_ratios,
+    estimate_power_law_exponent,
+    fit_polylog_exponent,
+    format_table,
+    geometric_sizes,
+    summarize_scaling,
+)
+from repro.metrics.counters import MetricsRecorder
+
+
+def test_counters_and_maxima():
+    m = MetricsRecorder("test")
+    m.inc("a")
+    m.inc("a", 4)
+    m.observe_max("width", 3)
+    m.observe_max("width", 2)
+    m.set("b", 7)
+    assert m["a"] == 5 and m["b"] == 7 and m["width"] == 3
+    assert m.get("missing") == 0 and m.get("missing", -1) == -1
+    d = m.as_dict()
+    assert d["a"] == 5 and d["max_width"] == 3
+    m.reset()
+    assert m.as_dict() == {}
+
+
+def test_timer_and_merge_and_delta():
+    m = MetricsRecorder()
+    with m.timer("phase"):
+        sum(range(1000))
+    assert m["time_phase"] > 0
+    other = MetricsRecorder()
+    other.inc("a", 2)
+    other.observe_max("w", 9)
+    m.merge(other)
+    assert m["a"] == 2 and m["w"] == 9
+    before = m.as_dict()
+    m.inc("a", 3)
+    delta = m.snapshot_delta(before)
+    assert delta["a"] == 3
+
+
+def test_power_law_and_polylog_fits():
+    sizes = [2**k for k in range(6, 12)]
+    linear = [3 * s for s in sizes]
+    assert abs(estimate_power_law_exponent(sizes, linear) - 1.0) < 0.01
+    quadratic = [s * s for s in sizes]
+    assert abs(estimate_power_law_exponent(sizes, quadratic) - 2.0) < 0.01
+    polylog = [math.log2(s) ** 2 for s in sizes]
+    assert abs(fit_polylog_exponent(sizes, polylog) - 2.0) < 0.05
+    assert estimate_power_law_exponent(sizes, polylog) < 0.6
+    with pytest.raises(ValueError):
+        estimate_power_law_exponent([10], [1])
+
+
+def test_geometric_sizes_and_ratios():
+    sizes = geometric_sizes(100, 1000, factor=2)
+    assert sizes == [100, 200, 400, 800]
+    with pytest.raises(ValueError):
+        geometric_sizes(0, 10)
+    ratios = doubling_ratios([1, 2, 4], [10, 20, 40])
+    assert ratios == [2.0, 2.0]
+
+
+def test_format_table_and_summary():
+    table = format_table(["n", "rounds"], [[10, 3], [100, 6]])
+    assert "rounds" in table and "100" in table
+    summary = summarize_scaling("demo", [10, 100], {"rounds": [3, 6]})
+    assert "demo" in summary and "fits:" in summary

@@ -1,0 +1,36 @@
+"""Tests for the PRAM-metered LCA index."""
+
+import random
+
+from repro.graph.generators import random_tree
+from repro.graph.traversal import static_dfs_tree
+from repro.pram.lca_parallel import ParallelLCA
+from repro.pram.machine import PRAM
+from repro.tree.dfs_tree import DFSTree
+
+
+def test_parallel_lca_matches_tree_lca():
+    rng = random.Random(11)
+    g = random_tree(60, seed=1)
+    tree = DFSTree(static_dfs_tree(g, 0), root=0)
+    pram = PRAM()
+    lca = ParallelLCA(pram, tree)
+    build_depth = pram.depth
+    assert build_depth > 0  # construction was metered
+    verts = list(tree.vertices())
+    for _ in range(200):
+        a, b = rng.choice(verts), rng.choice(verts)
+        assert lca.lca(a, b) == tree.lca(a, b)
+
+
+def test_batch_lca_counts_one_step():
+    g = random_tree(40, seed=2)
+    tree = DFSTree(static_dfs_tree(g, 0), root=0)
+    pram = PRAM()
+    lca = ParallelLCA(pram, tree)
+    depth_before = pram.depth
+    pairs = [(i, (i * 7 + 3) % 40) for i in range(40)]
+    answers = lca.batch_lca(pairs)
+    assert answers == [tree.lca(a, b) for a, b in pairs]
+    # One parallel step plus the charged EREW-simulation factor.
+    assert pram.depth - depth_before <= 1 + (2 * 40).bit_length()

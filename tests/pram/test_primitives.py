@@ -1,0 +1,120 @@
+"""Tests for the PRAM primitives: results match sequential semantics, depth
+stays logarithmic, and strict EREW mode catches conflicting accesses."""
+
+import math
+import random
+
+import pytest
+
+from repro.exceptions import EREWViolation, PRAMError
+from repro.pram.machine import PRAM
+from repro.pram.primitives import (
+    parallel_max,
+    parallel_min,
+    parallel_pack,
+    parallel_prefix_sums,
+    parallel_reduce,
+    pointer_jumping_list_ranking,
+)
+
+
+def test_prefix_sums_matches_sequential():
+    rng = random.Random(0)
+    for n in (1, 2, 7, 64, 100):
+        values = [rng.randint(-5, 10) for _ in range(n)]
+        pram = PRAM(strict_erew=True)
+        result = parallel_prefix_sums(pram, values)
+        expected = []
+        acc = 0
+        for v in values:
+            acc += v
+            expected.append(acc)
+        assert result == expected
+
+
+def test_prefix_sums_depth_is_logarithmic():
+    n = 1024
+    pram = PRAM()
+    parallel_prefix_sums(pram, [1] * n)
+    assert pram.depth <= 2 * math.ceil(math.log2(n)) + 2
+    assert pram.work <= 4 * n
+
+
+def test_reduce_and_min_max():
+    rng = random.Random(1)
+    values = [rng.randint(-100, 100) for _ in range(37)]
+    pram = PRAM(strict_erew=True)
+    assert parallel_reduce(pram, list(values), lambda a, b: a + b) == sum(values)
+    assert parallel_max(pram, list(values)) == max(values)
+    assert parallel_min(pram, list(values)) == min(values)
+    assert parallel_max(pram, list(values), key=abs) == max(values, key=abs)
+    with pytest.raises(ValueError):
+        parallel_reduce(pram, [], lambda a, b: a)
+
+
+def test_pack_is_stable():
+    values = list("abcdefgh")
+    flags = [True, False, True, True, False, False, True, False]
+    pram = PRAM(strict_erew=True)
+    assert parallel_pack(pram, values, flags) == ["a", "c", "d", "g"]
+    assert parallel_pack(pram, [], []) == []
+    with pytest.raises(ValueError):
+        parallel_pack(pram, [1, 2], [True])
+
+
+def test_list_ranking_matches_positions():
+    # Build a random linked list over 0..n-1.
+    rng = random.Random(5)
+    n = 50
+    order = list(range(n))
+    rng.shuffle(order)
+    successor = [-1] * n
+    for a, b in zip(order, order[1:]):
+        successor[a] = b
+    # Pointer jumping is CREW (a node and its predecessor read the same cell);
+    # see the primitive's docstring, so no strict EREW checking here.
+    pram = PRAM()
+    ranks = pointer_jumping_list_ranking(pram, successor)
+    for pos, v in enumerate(order):
+        assert ranks[v] == n - 1 - pos
+    assert pram.depth <= 2 * math.ceil(math.log2(n)) + 2
+
+
+def test_list_ranking_trivial_cases():
+    pram = PRAM()
+    assert pointer_jumping_list_ranking(pram, []) == []
+    assert pointer_jumping_list_ranking(pram, [-1]) == [0]
+
+
+def test_erew_violation_detected():
+    pram = PRAM(strict_erew=True)
+    cell = pram.zeros(1, "shared")
+
+    def everyone_reads_cell_zero(i, _item):
+        return cell.read(0)
+
+    with pytest.raises(EREWViolation):
+        pram.parallel_step(range(4), everyone_reads_cell_zero)
+
+
+def test_nested_parallel_steps_forbidden():
+    pram = PRAM()
+
+    def nested(i, _item):
+        pram.parallel_step([1], lambda j, x: x)
+
+    with pytest.raises(PRAMError):
+        pram.parallel_step([1, 2], nested)
+
+
+def test_charge_and_metrics():
+    from repro.metrics.counters import MetricsRecorder
+
+    metrics = MetricsRecorder()
+    pram = PRAM(metrics=metrics)
+    pram.parallel_step([1, 2, 3], lambda i, x: x)
+    pram.charge(depth=2, work=10)
+    assert pram.depth == 3 and pram.work == 13
+    assert metrics["pram_depth"] == 3 and metrics["pram_work"] == 13
+    pram.reset()
+    assert pram.depth == 0 and pram.work == 0

@@ -1,0 +1,40 @@
+"""Tests for the simulated parallel merge sort."""
+
+import random
+
+from repro.pram.machine import PRAM
+from repro.pram.sort import parallel_merge, parallel_merge_sort, sort_depth_upper_bound
+
+
+def test_parallel_merge_matches_sorted():
+    rng = random.Random(2)
+    for _ in range(20):
+        a = sorted(rng.randint(0, 50) for _ in range(rng.randint(0, 12)))
+        b = sorted(rng.randint(0, 50) for _ in range(rng.randint(0, 12)))
+        pram = PRAM()
+        assert parallel_merge(pram, a, b) == sorted(a + b)
+
+
+def test_parallel_merge_sort_matches_builtin():
+    rng = random.Random(3)
+    for n in (0, 1, 2, 5, 17, 64, 129):
+        values = [rng.randint(-100, 100) for _ in range(n)]
+        pram = PRAM()
+        assert parallel_merge_sort(pram, values) == sorted(values)
+
+
+def test_parallel_merge_sort_with_key_and_stability():
+    values = [("a", 3), ("b", 1), ("c", 3), ("d", 1), ("e", 2)]
+    pram = PRAM()
+    result = parallel_merge_sort(pram, values, key=lambda x: x[1])
+    assert result == [("b", 1), ("d", 1), ("e", 2), ("a", 3), ("c", 3)]
+
+
+def test_depth_within_polylog_budget():
+    rng = random.Random(4)
+    for n in (64, 256, 1000):
+        values = [rng.random() for _ in range(n)]
+        pram = PRAM()
+        parallel_merge_sort(pram, values)
+        assert pram.depth <= sort_depth_upper_bound(n)
+        assert pram.work <= 4 * n * (n.bit_length() + 1)

@@ -1,0 +1,58 @@
+"""Parallel Euler-tour tree functions must match the sequential DFSTree indices."""
+
+import math
+
+import pytest
+
+from repro.exceptions import TreeError
+from repro.graph.generators import path_graph, random_tree, star_graph
+from repro.graph.traversal import static_dfs_tree
+from repro.pram.machine import PRAM
+from repro.pram.tree_functions import parallel_tree_functions
+from repro.tree.dfs_tree import DFSTree
+
+
+def _check_against_dfs_tree(parent_map):
+    tree = DFSTree(parent_map)
+    pram = PRAM()
+    result = parallel_tree_functions(pram, parent_map)
+    for v in parent_map:
+        assert result["level"][v] == tree.level(v), f"level mismatch at {v}"
+        assert result["size"][v] == tree.subtree_size(v), f"size mismatch at {v}"
+        assert result["postorder"][v] == tree.postorder(v), f"postorder mismatch at {v}"
+    return pram
+
+
+def test_small_hand_built_tree():
+    parent = {0: None, 1: 0, 2: 1, 3: 1, 4: 0, 5: 4, 6: 4}
+    _check_against_dfs_tree(parent)
+
+
+def test_path_and_star_trees():
+    path = static_dfs_tree(path_graph(40), 0)
+    _check_against_dfs_tree(path)
+    star = static_dfs_tree(star_graph(30), 0)
+    _check_against_dfs_tree(star)
+
+
+def test_random_trees_and_depth_bound():
+    for seed in range(4):
+        g = random_tree(80, seed=seed)
+        parent = static_dfs_tree(g, 0)
+        pram = _check_against_dfs_tree(parent)
+        n = len(parent)
+        # Euler tour + list ranking + prefix sums: O(log n) parallel steps.
+        assert pram.depth <= 6 * math.ceil(math.log2(2 * n)) + 10
+
+
+def test_trivial_trees():
+    pram = PRAM()
+    assert parallel_tree_functions(pram, {}) == {"level": {}, "postorder": {}, "size": {}}
+    single = parallel_tree_functions(pram, {7: None})
+    assert single == {"level": {7: 0}, "postorder": {7: 0}, "size": {7: 1}}
+
+
+def test_multiple_roots_rejected():
+    pram = PRAM()
+    with pytest.raises(TreeError):
+        parallel_tree_functions(pram, {0: None, 1: None})

@@ -1,0 +1,69 @@
+"""Tests for the semi-streaming environment (Theorem 15)."""
+
+import math
+
+import pytest
+
+from tests.helpers import make_updates
+from repro.exceptions import StreamingError
+from repro.graph.generators import gnp_random_graph, path_graph
+from repro.streaming.stream import EdgeStream
+from repro.streaming.semi_streaming_dfs import SemiStreamingDynamicDFS
+
+
+def test_edge_stream_passes_and_updates():
+    g = path_graph(5)
+    stream = EdgeStream.from_graph(g)
+    assert stream.num_edges == 4
+    assert sorted(tuple(sorted(e)) for e in stream.pass_over()) == [(0, 1), (1, 2), (2, 3), (3, 4)]
+    assert stream.passes == 1
+    stream.insert_edge(0, 4)
+    assert stream.has_edge(4, 0)
+    stream.delete_edge(0, 1)
+    assert stream.num_edges == 4
+    with pytest.raises(StreamingError):
+        stream.insert_edge(0, 4)
+    with pytest.raises(StreamingError):
+        stream.delete_edge(0, 1)
+    with pytest.raises(StreamingError):
+        stream.insert_edge(2, 2)
+    removed = stream.delete_vertex_edges(4)
+    assert len(removed) == 2
+
+
+def test_streaming_dfs_valid_and_pass_counted():
+    graph = gnp_random_graph(45, 0.1, seed=5, connected=True)
+    updates = make_updates(graph, 15, seed=9)
+    ss = SemiStreamingDynamicDFS(graph, validate=True)
+    ss.apply_all(updates)
+    assert ss.is_valid()
+    assert ss.passes == ss.metrics["stream_passes"]
+    assert ss.metrics["max_passes_per_update"] >= 1
+
+
+def test_passes_per_update_stay_polylogarithmic():
+    worst = {}
+    for n in (64, 256, 1024):
+        graph = path_graph(n)
+        ss = SemiStreamingDynamicDFS(graph)
+        # Deleting the middle edge and re-inserting it is a worst-ish case for a
+        # path: half the tree is rerooted every time.
+        for _ in range(3):
+            ss.delete_edge(n // 2 - 1, n // 2)
+            ss.insert_edge(n // 2 - 1, n // 2)
+        worst[n] = ss.metrics["max_passes_per_update"]
+    for n, passes in worst.items():
+        assert passes <= 4 * (math.log2(n) ** 2) + 10, worst
+    # Pass counts must not scale linearly with n.
+    assert worst[1024] <= worst[64] * 6 + 10
+
+
+def test_local_space_stays_linear():
+    graph = gnp_random_graph(60, 0.08, seed=7, connected=True)
+    ss = SemiStreamingDynamicDFS(graph, validate=True)
+    updates = make_updates(graph, 10, seed=4)
+    ss.apply_all(updates)
+    n = ss.tree.num_vertices
+    assert ss.local_space() == n
+    # Per-pass working state (source owners + target positions) is O(n), never O(m).
+    assert ss.metrics["max_stream_state_entries"] <= 6 * n

@@ -1,0 +1,144 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These generate random graphs and random valid update sequences and assert the
+library-wide invariants: every maintained tree is a valid DFS forest, the data
+structure ``D`` agrees with the brute-force oracle, and the DFS tree indices
+are internally consistent.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.constants import VIRTUAL_ROOT
+from repro.core.dynamic_dfs import FullyDynamicDFS
+from repro.core.fault_tolerant import FaultTolerantDFS
+from repro.core.queries import BruteForceQueryService, DQueryService, EdgeQuery
+from repro.core.structure_d import StructureD
+from repro.graph.generators import gnm_random_graph
+from repro.graph.graph import UndirectedGraph
+from repro.graph.traversal import static_dfs_forest
+from repro.graph.validation import check_dfs_tree
+from repro.tree.dfs_tree import DFSTree
+from repro.workloads.updates import UpdateSequenceGenerator
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def graphs(draw, max_n=28):
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    max_m = n * (n - 1) // 2
+    m = draw(st.integers(min_value=0, max_value=min(max_m, 3 * n)))
+    seed = draw(st.integers(min_value=0, max_value=10**6))
+    return gnm_random_graph(n, m, seed=seed)
+
+
+@st.composite
+def graph_and_updates(draw, max_updates=10):
+    g = draw(graphs())
+    seed = draw(st.integers(min_value=0, max_value=10**6))
+    count = draw(st.integers(min_value=1, max_value=max_updates))
+    gen = UpdateSequenceGenerator(g, seed=seed)
+    return g, gen.sequence(count)
+
+
+@SETTINGS
+@given(graph_and_updates())
+def test_fully_dynamic_dfs_stays_valid(data):
+    graph, updates = data
+    dyn = FullyDynamicDFS(graph, validate=True)
+    dyn.apply_all(updates)
+    assert dyn.is_valid()
+    # The tree covers exactly the graph vertices (plus the virtual root).
+    assert set(dyn.parent_map(include_virtual_root=False)) == set(dyn.graph.vertices())
+
+
+@SETTINGS
+@given(graph_and_updates(max_updates=5))
+def test_fault_tolerant_matches_graph_after_updates(data):
+    graph, updates = data
+    ft = FaultTolerantDFS(graph, validate=True)
+    tree, updated = ft.query_with_graph(updates)
+    assert check_dfs_tree(updated, tree.parent_map()) == []
+    assert set(tree.vertices()) - {VIRTUAL_ROOT} == set(updated.vertices())
+
+
+@SETTINGS
+@given(graphs(), st.integers(min_value=0, max_value=10**6))
+def test_structure_d_agrees_with_oracle(graph, seed):
+    rng = random.Random(seed)
+    tree = DFSTree(static_dfs_forest(graph), root=VIRTUAL_ROOT)
+    d = StructureD(graph, tree)
+    fast = DQueryService(d)
+    brute = BruteForceQueryService(graph, tree)
+    verts = [v for v in tree.vertices() if v != VIRTUAL_ROOT]
+    if not verts:
+        return
+    for _ in range(10):
+        root = rng.choice(verts)
+        bottom = rng.choice(verts)
+        chain = [bottom]
+        while tree.parent(chain[-1]) not in (None, VIRTUAL_ROOT):
+            chain.append(tree.parent(chain[-1]))
+        target = [v for v in reversed(chain) if not tree.is_ancestor(root, v)]
+        if not target:
+            continue
+        q = EdgeQuery.from_tree(root, tuple(target), prefer_last=rng.random() < 0.5)
+        fa = fast.answer(q)
+        ba = brute.answer(q)
+        pos = {v: i for i, v in enumerate(q.target)}
+        if ba is None:
+            assert fa is None
+        else:
+            assert fa is not None and pos[fa[1]] == pos[ba[1]]
+
+
+@SETTINGS
+@given(graphs())
+def test_dfs_tree_indices_are_consistent(graph):
+    tree = DFSTree(static_dfs_forest(graph), root=VIRTUAL_ROOT)
+    verts = list(tree.vertices())
+    for v in verts:
+        kids = tree.children(v)
+        assert tree.subtree_size(v) == 1 + sum(tree.subtree_size(c) for c in kids)
+        for c in kids:
+            assert tree.parent(c) == v
+            assert tree.is_ancestor(v, c) and not tree.is_ancestor(c, v)
+            assert tree.postorder(v) > tree.postorder(c)
+    # LCA sanity on a few sampled pairs.
+    rng = random.Random(0)
+    for _ in range(15):
+        a, b = rng.choice(verts), rng.choice(verts)
+        l = tree.lca(a, b)
+        assert tree.is_ancestor(l, a) and tree.is_ancestor(l, b)
+
+
+@SETTINGS
+@given(st.lists(st.tuples(st.integers(0, 14), st.integers(0, 14)), max_size=40))
+def test_graph_store_membership_invariants(pairs):
+    g = UndirectedGraph(vertices=range(15))
+    inserted = set()
+    for u, v in pairs:
+        if u == v:
+            continue
+        key = frozenset((u, v))
+        if key in inserted:
+            g.remove_edge(u, v)
+            inserted.discard(key)
+        else:
+            g.add_edge(u, v)
+            inserted.add(key)
+    assert g.num_edges == len(inserted)
+    for key in inserted:
+        u, v = tuple(key)
+        assert g.has_edge(u, v) and g.has_edge(v, u)
+    # Degrees sum to twice the edge count.
+    assert sum(g.degree(v) for v in g.vertices()) == 2 * g.num_edges

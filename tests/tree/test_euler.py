@@ -1,0 +1,47 @@
+"""Tests for Euler tours."""
+
+from repro.graph.generators import random_tree
+from repro.graph.traversal import static_dfs_tree
+from repro.tree.dfs_tree import DFSTree
+from repro.tree.euler import edge_tour, euler_tour
+
+
+def _tree(seed=0, n=30):
+    g = random_tree(n, seed=seed)
+    return DFSTree(static_dfs_tree(g, 0), root=0)
+
+
+def test_euler_tour_length_and_first_occurrence():
+    tree = _tree(n=25)
+    tour, first, depths = euler_tour(tree)
+    assert len(tour) == 2 * 25 - 1
+    assert len(depths) == len(tour)
+    assert tour[0] == tree.root and tour[-1] == tree.root
+    for v in tree.vertices():
+        assert tour[first[v]] == v
+    # Depths recorded along the tour match the tree levels.
+    for pos, v in enumerate(tour):
+        assert depths[pos] == tree.level(v)
+    # Consecutive tour entries are tree neighbours.
+    for a, b in zip(tour, tour[1:]):
+        assert tree.parent(a) == b or tree.parent(b) == a
+
+
+def test_euler_tour_single_vertex():
+    tree = DFSTree({0: None})
+    tour, first, depths = euler_tour(tree)
+    assert tour == [0] and first == {0: 0} and depths == [0]
+
+
+def test_edge_tour_traverses_each_edge_twice():
+    tree = _tree(n=20, seed=3)
+    arcs = edge_tour(tree)
+    assert len(arcs) == 2 * (20 - 1)
+    seen = {}
+    for u, v in arcs:
+        seen[frozenset((u, v))] = seen.get(frozenset((u, v)), 0) + 1
+    assert all(count == 2 for count in seen.values())
+    # The tour is a closed walk starting and ending at the root.
+    assert arcs[0][0] == tree.root and arcs[-1][1] == tree.root
+    for (a, b), (c, d) in zip(arcs, arcs[1:]):
+        assert b == c

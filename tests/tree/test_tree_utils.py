@@ -1,0 +1,115 @@
+"""Tests for path/subtree utilities (hanging subtrees, heavy vertex, segments)."""
+
+import pytest
+
+from repro.exceptions import TreeError
+from repro.graph.generators import random_tree
+from repro.graph.traversal import static_dfs_tree
+from repro.tree.dfs_tree import DFSTree
+from repro.tree.tree_utils import (
+    ancestor_descendant_segments,
+    farther_endpoint,
+    hanging_subtrees,
+    heavy_chain,
+    heavy_vertex,
+    is_back_edge,
+    is_vertical_path,
+    path_level_map,
+    segment_orientation,
+    split_path_at,
+    subtree_vertex_count,
+)
+
+
+@pytest.fixture
+def caterpillar_tree():
+    # Spine 0-1-2-3 with legs: 0->10, 1->11, 2->12,13, 3->14
+    parent = {0: None, 1: 0, 2: 1, 3: 2, 10: 0, 11: 1, 12: 2, 13: 2, 14: 3}
+    return DFSTree(parent, root=0)
+
+
+def test_is_vertical_path(caterpillar_tree):
+    t = caterpillar_tree
+    assert is_vertical_path(t, [0, 1, 2, 3])
+    assert is_vertical_path(t, [3, 2, 1])
+    assert is_vertical_path(t, [2])
+    assert not is_vertical_path(t, [1, 2, 13, 12])  # direction change / sibling hop
+    assert not is_vertical_path(t, [0, 2])  # not adjacent
+
+
+def test_hanging_subtrees(caterpillar_tree):
+    t = caterpillar_tree
+    roots = hanging_subtrees(t, [0, 1, 2, 3])
+    assert roots == [10, 11, 12, 13, 14]
+    roots2 = hanging_subtrees(t, [1, 2], exclude=[3])
+    assert roots2 == [11, 12, 13]
+
+
+def test_heavy_vertex_and_chain():
+    # A path tree: every prefix is heavy, v_H is the deepest vertex whose
+    # subtree still exceeds the threshold.
+    parent = {i: (i - 1 if i else None) for i in range(10)}
+    t = DFSTree(parent, root=0)
+    assert heavy_vertex(t, 0, 3) == 6  # |T(6)| = 4 > 3, |T(7)| = 3
+    assert heavy_chain(t, 0, 3) == [0, 1, 2, 3, 4, 5, 6]
+    with pytest.raises(TreeError):
+        heavy_vertex(t, 7, 5)
+
+
+def test_heavy_vertex_on_balanced_tree():
+    parent = {0: None, 1: 0, 2: 0, 3: 1, 4: 1, 5: 2, 6: 2}
+    t = DFSTree(parent, root=0)
+    # threshold 3: only the root exceeds it
+    assert heavy_vertex(t, 0, 3) == 0
+    # threshold 2: children of the root have size 3 > 2, pick one chain end
+    assert heavy_vertex(t, 0, 2) in (1, 2)
+
+
+def test_ancestor_descendant_segments(caterpillar_tree):
+    t = caterpillar_tree
+    # A path of T* glued from two vertical runs by a back-edge jump.
+    seq = [11, 1, 0, 14, 3, 2]
+    segs = ancestor_descendant_segments(t, seq)
+    assert segs == [[11, 1, 0], [14, 3, 2]]
+    assert ancestor_descendant_segments(t, []) == []
+    assert ancestor_descendant_segments(t, [2]) == [[2]]
+    # Direction flip splits a segment.
+    segs2 = ancestor_descendant_segments(t, [1, 2, 3, 2])
+    assert segs2 == [[1, 2, 3], [2]]
+
+
+def test_segment_orientation_and_split(caterpillar_tree):
+    t = caterpillar_tree
+    assert segment_orientation(t, [3, 2, 1]) == (1, 3)
+    assert segment_orientation(t, [1, 2, 3]) == (1, 3)
+    prefix, suffix = split_path_at([5, 6, 7, 8], 6)
+    assert prefix == [5, 6] and suffix == [7, 8]
+    with pytest.raises(ValueError):
+        split_path_at([1, 2], 9)
+
+
+def test_farther_endpoint_and_misc(caterpillar_tree):
+    t = caterpillar_tree
+    assert farther_endpoint(t, [0, 1, 2, 3], 1) == 3
+    assert farther_endpoint(t, [0, 1, 2, 3], 3) == 0
+    with pytest.raises(ValueError):
+        farther_endpoint(t, [0, 1], 5)
+    assert is_back_edge(t, 0, 14)
+    assert not is_back_edge(t, 10, 14)
+    assert subtree_vertex_count(t, [1, 10]) == t.subtree_size(1) + 1
+    assert path_level_map(t, [3, 2, 1]) == {3: 0, 2: 1, 1: 2}
+
+
+def test_segments_on_random_trees_cover_and_are_vertical():
+    from random import Random
+
+    rng = Random(7)
+    g = random_tree(40, seed=2)
+    t = DFSTree(static_dfs_tree(g, 0), root=0)
+    verts = list(t.vertices())
+    for _ in range(50):
+        seq = rng.sample(verts, rng.randint(1, 10))
+        segs = ancestor_descendant_segments(t, seq)
+        assert [v for s in segs for v in s] == seq
+        for s in segs:
+            assert is_vertical_path(t, s)

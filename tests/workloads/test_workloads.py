@@ -1,0 +1,80 @@
+"""Tests for the workload generators and named scenarios."""
+
+import pytest
+
+from repro.core.dynamic_dfs import FullyDynamicDFS
+from repro.core.updates import EdgeDeletion, EdgeInsertion, VertexDeletion, VertexInsertion
+from repro.graph.generators import gnp_random_graph
+from repro.workloads.scenarios import SCENARIOS, build_scenario
+from repro.workloads.updates import (
+    UpdateSequenceGenerator,
+    adversarial_comb_updates,
+    edge_churn,
+    failure_burst,
+    mixed_updates,
+    vertex_churn,
+)
+
+
+def replay(graph, updates):
+    """Replaying a generated sequence must never hit an invalid operation."""
+    g = graph.copy()
+    for upd in updates:
+        if isinstance(upd, EdgeInsertion):
+            g.add_edge(upd.u, upd.v)
+        elif isinstance(upd, EdgeDeletion):
+            g.remove_edge(upd.u, upd.v)
+        elif isinstance(upd, VertexInsertion):
+            g.add_vertex_with_edges(upd.v, upd.neighbors)
+        elif isinstance(upd, VertexDeletion):
+            g.remove_vertex(upd.v)
+    return g
+
+
+def test_generators_are_deterministic_and_replayable():
+    graph = gnp_random_graph(40, 0.1, seed=2, connected=True)
+    a = mixed_updates(graph, 30, seed=7)
+    b = mixed_updates(graph, 30, seed=7)
+    assert a == b
+    replay(graph, a)
+    replay(graph, edge_churn(graph, 25, seed=3))
+    replay(graph, vertex_churn(graph, 25, seed=4))
+
+
+def test_edge_churn_contains_only_edge_updates():
+    graph = gnp_random_graph(30, 0.1, seed=5, connected=True)
+    for upd in edge_churn(graph, 20, seed=1):
+        assert isinstance(upd, (EdgeInsertion, EdgeDeletion))
+
+
+def test_failure_burst_contains_only_deletions():
+    graph = gnp_random_graph(30, 0.15, seed=6, connected=True)
+    burst = failure_burst(graph, 8, seed=2)
+    assert len(burst) == 8
+    assert all(isinstance(u, (EdgeDeletion, VertexDeletion)) for u in burst)
+    replay(graph, burst)
+
+
+def test_update_generator_tracks_graph_state():
+    graph = gnp_random_graph(20, 0.2, seed=8, connected=True)
+    gen = UpdateSequenceGenerator(graph, seed=3)
+    seq = gen.sequence(15)
+    final = replay(graph, seq)
+    assert final == gen.graph
+
+
+def test_adversarial_comb_updates_alternate():
+    ups = adversarial_comb_updates(10, 5)
+    assert isinstance(ups[0], EdgeDeletion) and isinstance(ups[1], EdgeInsertion)
+    assert len(ups) == 10
+
+
+def test_every_named_scenario_builds_and_runs():
+    for name in SCENARIOS:
+        scenario = build_scenario(name, n=60, seed=1, updates=6)
+        assert scenario.n > 0 and scenario.m >= 0
+        dyn = FullyDynamicDFS(scenario.graph, validate=True)
+        dyn.apply_all(scenario.updates)
+        assert dyn.is_valid(), name
+    with pytest.raises(KeyError):
+        build_scenario("nope")
