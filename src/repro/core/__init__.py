@@ -10,6 +10,7 @@ from repro.core.queries import (
     QueryService,
 )
 from repro.core.components import Component, PathPiece, TreePiece
+from repro.core.overlay import apply_update, validate_update
 from repro.core.reduction import RerootTask, reduce_update
 from repro.core.updates import (
     EdgeDeletion,
@@ -34,6 +35,8 @@ __all__ = [
     "PathPiece",
     "RerootTask",
     "reduce_update",
+    "apply_update",
+    "validate_update",
     "Update",
     "EdgeInsertion",
     "EdgeDeletion",

@@ -1,18 +1,36 @@
-"""Fully dynamic DFS (Theorem 13).
+"""Fully dynamic DFS (Theorem 13) with an amortized batch-update engine.
 
 :class:`FullyDynamicDFS` maintains a DFS tree of an undirected graph under an
 arbitrary online sequence of edge/vertex insertions and deletions.  Each update
 is processed exactly as in the paper:
 
-1. the update is applied to the graph;
-2. the data structure ``D`` is rebuilt on the updated graph and the *current*
-   tree (``O(log n)`` parallel time with ``m`` processors — Theorem 8; this is
-   the step that forces the ``m``-processor bound of Theorem 13);
+1. the update is validated and applied to the graph;
+2. the data structure ``D`` is brought up to date — either by a full rebuild on
+   the updated graph and the *current* tree (``O(log n)`` parallel time with
+   ``m`` processors — Theorem 8), or, between rebuilds, by recording the update
+   as a small overlay on the existing ``D`` (the multi-update extension of
+   Theorem 9, shared with the fault-tolerant driver);
 3. the reduction algorithm turns the update into independent rerooting tasks
    (Theorem 11);
 4. the rerooting engine (parallel by default, sequential baseline available)
    executes the tasks (Theorem 12);
 5. the tree indices are rebuilt for the next update.
+
+**Rebuild policy.**  Rebuilding ``D`` costs ``O(m)`` work per update, yet
+Theorem 9 answers queries correctly for up to ``k`` overlaid updates without
+touching the sorted lists.  The ``rebuild_every`` knob exploits that gap:
+
+* ``rebuild_every=1`` — classic per-update rebuild (the seed behaviour);
+* ``rebuild_every=k`` — every ``k``-th update rebuilds ``D``; the ``k - 1``
+  updates in between are served from overlays, so the amortized rebuild work
+  drops to ``O(m / k)`` per update while every query pays ``O(k)`` extra;
+* ``rebuild_every=None`` (default) — auto-tuned: ``D`` is rebuilt once the
+  overlay grows past ``~sqrt(2m)`` entries, balancing rebuild work against
+  per-query overlay cost under the actual churn rate.
+
+Because query answers are canonical (see
+:class:`repro.core.queries.DQueryService`), the maintained tree is *identical*
+under every policy — amortization changes the cost, not the output.
 
 The graph is augmented with a virtual root connected to every vertex
 (implicitly), so disconnected graphs are handled transparently: the children of
@@ -21,9 +39,11 @@ the virtual root are the roots of the DFS forest.
 
 from __future__ import annotations
 
+from math import isqrt
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence
 
 from repro.constants import VIRTUAL_ROOT, is_virtual_root
+from repro.core.overlay import apply_update, validate_update
 from repro.core.queries import BruteForceQueryService, DQueryService, QueryService
 from repro.core.reduction import reduce_update
 from repro.core.reroot_parallel import ParallelRerootEngine
@@ -36,7 +56,7 @@ from repro.core.updates import (
     VertexDeletion,
     VertexInsertion,
 )
-from repro.exceptions import NotADFSTree, UpdateError
+from repro.exceptions import NotADFSTree
 from repro.graph.graph import UndirectedGraph
 from repro.graph.traversal import static_dfs_forest
 from repro.graph.validation import check_dfs_tree
@@ -59,13 +79,19 @@ class FullyDynamicDFS:
     service:
         ``"d"`` (data structure ``D``, default) or ``"brute"`` (adjacency scan
         oracle; used for cross-validation).
+    rebuild_every:
+        Rebuild policy for ``D`` (only meaningful with ``service="d"``):
+        ``1`` rebuilds after every update, ``k > 1`` rebuilds on every ``k``-th
+        update and serves the rest from Theorem 9 overlays, ``None`` (default)
+        auto-tunes the rebuild period to keep the overlay near ``sqrt(2m)``.
     validate:
         Check after every update that the maintained tree is a valid DFS forest
         and raise :class:`NotADFSTree` otherwise.  Also enables the strict
         invariant checks inside the parallel engine.
     metrics:
         Optional shared recorder; every model quantity (query rounds, queries,
-        traversal rounds, ``D`` rebuild work, ...) is accumulated there.
+        traversal rounds, ``D`` rebuild work, overlay sizes, ...) is
+        accumulated there.
 
     Examples
     --------
@@ -83,6 +109,7 @@ class FullyDynamicDFS:
         *,
         engine: str = "parallel",
         service: str = "d",
+        rebuild_every: Optional[int] = None,
         validate: bool = False,
         metrics: Optional[MetricsRecorder] = None,
         copy_graph: bool = True,
@@ -91,14 +118,18 @@ class FullyDynamicDFS:
             raise ValueError(f"unknown engine {engine!r}")
         if service not in ("d", "brute"):
             raise ValueError(f"unknown service {service!r}")
+        if rebuild_every is not None and (not isinstance(rebuild_every, int) or rebuild_every < 1):
+            raise ValueError(f"rebuild_every must be a positive int or None, got {rebuild_every!r}")
         self._graph = graph.copy() if copy_graph else graph
         self._engine_kind = engine
         self._service_kind = service
+        self._rebuild_every = rebuild_every
         self._validate = validate
         self.metrics = metrics or MetricsRecorder("dynamic_dfs")
         self._tree = self._initial_tree()
         self._structure: Optional[StructureD] = None
         self._service: Optional[QueryService] = None
+        self._updates_since_rebuild = 0
         self._rebuild_structures()
         if self._validate:
             self._check()
@@ -112,13 +143,16 @@ class FullyDynamicDFS:
         return DFSTree(parent, root=VIRTUAL_ROOT)
 
     def _rebuild_structures(self) -> None:
+        # For service="d" only the structure is (re)built here; the query
+        # service is constructed per update with the then-current tree.
         with self.metrics.timer("build_d"):
             if self._service_kind == "d":
                 self._structure = StructureD(self._graph, self._tree, metrics=self.metrics)
-                self._service = DQueryService(self._structure, metrics=self.metrics)
             else:
                 self._structure = None
                 self._service = BruteForceQueryService(self._graph, self._tree, metrics=self.metrics)
+        self._updates_since_rebuild = 0
+        self.metrics.inc("d_rebuilds")
 
     def _make_engine(self):
         if self._engine_kind == "parallel":
@@ -143,6 +177,20 @@ class FullyDynamicDFS:
     def tree(self) -> DFSTree:
         """The current DFS tree (rooted at the virtual root)."""
         return self._tree
+
+    @property
+    def rebuild_every(self) -> Optional[int]:
+        """The configured rebuild period (``None`` = auto-tuned)."""
+        return self._rebuild_every
+
+    def overlay_budget(self) -> int:
+        """Overlay size that triggers a rebuild under the auto-tuned policy.
+
+        Chosen as ``~sqrt(2m)``: a rebuild costs ``O(m)`` and is amortized over
+        the ``~sqrt(2m)`` overlay-served updates it absorbs, while each query
+        pays at most ``O(sqrt(2m))`` extra overlay probes (Theorem 9's ``k``).
+        """
+        return max(8, isqrt(2 * max(self._graph.num_edges, 1)))
 
     def parent_map(self, *, include_virtual_root: bool = True) -> Dict[Vertex, Optional[Vertex]]:
         """Parent map of the maintained DFS forest.
@@ -187,51 +235,96 @@ class FullyDynamicDFS:
         """Delete vertex *v* (and its incident edges) and return the updated tree."""
         return self.apply(VertexDeletion(v))
 
-    def apply_all(self, updates: Sequence[Update]) -> DFSTree:
-        """Apply a sequence of updates; returns the final tree."""
-        for upd in updates:
-            self.apply(upd)
-        return self._tree
-
     def apply(self, update: Update) -> DFSTree:
-        """Apply one update and return the updated DFS tree."""
+        """Apply one update and return the updated DFS tree.
+
+        Malformed updates raise :class:`~repro.exceptions.UpdateError` *before*
+        any metric, timer or graph state is touched, so failed updates never
+        skew per-update counters.
+        """
+        validate_update(self._graph, update)
         self.metrics.inc("updates")
         with self.metrics.timer("update"):
-            self._mutate_graph(update)
-            # Rebuild D on the updated graph and the current tree (Theorem 8).
-            self._rebuild_structures()
-            reduction = reduce_update(update, self._tree, self._service, metrics=self.metrics)
-
-            new_parent = self._tree.parent_map()
-            for v in reduction.removed_vertices:
-                new_parent.pop(v, None)
-            new_parent.update(reduction.parent_overrides)
-            if reduction.tasks:
-                engine = self._make_engine()
-                assignment = engine.reroot_many(reduction.tasks)
-                new_parent.update(assignment)
-
-            if not reduction.tree_unchanged or reduction.parent_overrides or reduction.removed_vertices:
-                with self.metrics.timer("rebuild_tree"):
-                    self._tree = DFSTree(new_parent, root=VIRTUAL_ROOT)
+            self._apply_validated(update)
         if self._validate:
+            self._check()
+        return self._tree
+
+    def apply_all(self, updates: Sequence[Update]) -> DFSTree:
+        """Apply a whole batch of updates in one pass; returns the final tree.
+
+        The batch is served by the amortized engine: ``D`` is rebuilt only when
+        the rebuild policy demands it, so a batch of ``b`` updates pays
+        ``O(b / k)`` rebuilds rather than ``b``.  With ``validate=True`` the
+        resulting tree is checked once at the end of the batch (the parallel
+        engine's per-task invariant checks still run throughout).
+        """
+        updates = list(updates)
+        self.metrics.inc("update_batches")
+        self.metrics.observe_max("update_batch_size", len(updates))
+        with self.metrics.timer("batch_update"):
+            for update in updates:
+                validate_update(self._graph, update)
+                self.metrics.inc("updates")
+                with self.metrics.timer("update"):
+                    self._apply_validated(update)
+        if self._validate and updates:
             self._check()
         return self._tree
 
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
-    def _mutate_graph(self, update: Update) -> None:
-        if isinstance(update, EdgeInsertion):
-            self._graph.add_edge(update.u, update.v)
-        elif isinstance(update, EdgeDeletion):
-            self._graph.remove_edge(update.u, update.v)
-        elif isinstance(update, VertexInsertion):
-            self._graph.add_vertex_with_edges(update.v, update.neighbors)
-        elif isinstance(update, VertexDeletion):
-            self._graph.remove_vertex(update.v)
+    def _apply_validated(self, update: Update) -> None:
+        if self._service_kind == "d":
+            if not self._overlay_can_serve(update):
+                # Refresh the base: rebuild D on the pre-update graph and the
+                # current tree (Theorem 8).  The update itself still enters D
+                # as an overlay below — rebuilding before the mutation keeps
+                # every vertex of the updated graph visible to D even when the
+                # update inserts a vertex the current tree cannot index yet.
+                self._rebuild_structures()
+            else:
+                self._updates_since_rebuild += 1
+                self.metrics.inc("overlay_served_updates")
+            # Theorem 9: record the update as an overlay and answer this
+            # update's queries without touching the sorted lists.
+            apply_update(self._graph, update, self._structure)
+            self.metrics.observe_max("overlay_size", self._structure.overlay_size())
+            self._service = DQueryService(
+                self._structure, source_tree=self._tree, metrics=self.metrics
+            )
         else:
-            raise UpdateError(f"unknown update type {update!r}")
+            apply_update(self._graph, update)
+            self._rebuild_structures()
+        service = self._service
+        reduction = reduce_update(update, self._tree, service, metrics=self.metrics)
+
+        new_parent = self._tree.parent_map()
+        for v in reduction.removed_vertices:
+            new_parent.pop(v, None)
+        new_parent.update(reduction.parent_overrides)
+        if reduction.tasks:
+            engine = self._make_engine()
+            assignment = engine.reroot_many(reduction.tasks)
+            new_parent.update(assignment)
+
+        if not reduction.tree_unchanged or reduction.parent_overrides or reduction.removed_vertices:
+            with self.metrics.timer("rebuild_tree"):
+                self._tree = DFSTree(new_parent, root=VIRTUAL_ROOT)
+
+    def _overlay_can_serve(self, update: Update) -> bool:
+        """True iff this update should be served from overlays instead of a
+        rebuild, according to the rebuild policy."""
+        if self._service_kind != "d":
+            return False  # the brute oracle reads the live graph; no overlays
+        if isinstance(update, VertexInsertion) and self._structure.indexes_vertex(update.v):
+            # Re-used vertex id: the base lists still reference the previous
+            # incarnation of v; a rebuild keeps the structure unambiguous.
+            return False
+        if self._rebuild_every is not None:
+            return self._updates_since_rebuild + 1 < self._rebuild_every
+        return self._structure.overlay_size() < self.overlay_budget()
 
     def _check(self) -> None:
         problems = check_dfs_tree(self._graph, self._tree.parent_map())

@@ -22,21 +22,16 @@ independent update batches, exactly like a fault-tolerant data structure.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+from typing import Hashable, Optional, Sequence, Tuple
 
 from repro.constants import VIRTUAL_ROOT
+from repro.core.overlay import apply_update, validate_update
 from repro.core.queries import DQueryService
 from repro.core.reduction import reduce_update
 from repro.core.reroot_parallel import ParallelRerootEngine
 from repro.core.structure_d import StructureD
-from repro.core.updates import (
-    EdgeDeletion,
-    EdgeInsertion,
-    Update,
-    VertexDeletion,
-    VertexInsertion,
-)
-from repro.exceptions import NotADFSTree, UpdateError
+from repro.core.updates import Update
+from repro.exceptions import NotADFSTree
 from repro.graph.graph import UndirectedGraph
 from repro.graph.traversal import static_dfs_forest
 from repro.graph.validation import check_dfs_tree
@@ -117,8 +112,12 @@ class FaultTolerantDFS:
         self._structure.reset_overlays()
         try:
             for i, update in enumerate(updates):
+                validate_update(graph, update)
                 self.metrics.inc("ft_updates")
-                self._apply_to_graph_and_overlay(graph, update)
+                # Shared overlay bookkeeping (also used by FullyDynamicDFS
+                # between amortized rebuilds): mutate the working graph and
+                # record the update on the preprocessed D (Theorem 9).
+                apply_update(graph, update, self._structure)
                 service = DQueryService(
                     self._structure, source_tree=current, metrics=self.metrics
                 )
@@ -148,20 +147,3 @@ class FaultTolerantDFS:
             # The preprocessed structure must stay pristine for the next query.
             self._structure.reset_overlays()
         return current, graph
-
-    # ------------------------------------------------------------------ #
-    def _apply_to_graph_and_overlay(self, graph: UndirectedGraph, update: Update) -> None:
-        if isinstance(update, EdgeInsertion):
-            graph.add_edge(update.u, update.v)
-            self._structure.note_edge_inserted(update.u, update.v)
-        elif isinstance(update, EdgeDeletion):
-            graph.remove_edge(update.u, update.v)
-            self._structure.note_edge_deleted(update.u, update.v)
-        elif isinstance(update, VertexInsertion):
-            graph.add_vertex_with_edges(update.v, update.neighbors)
-            self._structure.note_vertex_inserted(update.v, update.neighbors)
-        elif isinstance(update, VertexDeletion):
-            graph.remove_vertex(update.v)
-            self._structure.note_vertex_deleted(update.v)
-        else:
-            raise UpdateError(f"unknown update type {update!r}")

@@ -1,0 +1,99 @@
+"""Shared update/overlay bookkeeping for the dynamic and fault-tolerant drivers.
+
+Both :class:`repro.core.dynamic_dfs.FullyDynamicDFS` (between amortized rebuilds
+of ``D``) and :class:`repro.core.fault_tolerant.FaultTolerantDFS` (always) serve
+updates the same way: the update is applied to the graph *and* recorded as an
+overlay on the preprocessed :class:`~repro.core.structure_d.StructureD`, so the
+sorted lists never have to be rebuilt for the update itself (Theorem 9).  This
+module is the single implementation of that bookkeeping.
+
+It also owns the update-validation boundary: callers of the drivers' update APIs
+get :class:`~repro.exceptions.UpdateError` for every malformed update (missing
+edge, duplicate vertex, self loop, ...), never a bare graph-layer exception.
+:func:`validate_update` performs the full check *without mutating anything*, so
+drivers can reject an update before any metrics, timers or graph state are
+touched.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.structure_d import StructureD
+from repro.core.updates import (
+    EdgeDeletion,
+    EdgeInsertion,
+    Update,
+    VertexDeletion,
+    VertexInsertion,
+)
+from repro.exceptions import GraphError, UpdateError
+from repro.graph.graph import UndirectedGraph
+
+
+def validate_update(graph: UndirectedGraph, update: Update) -> None:
+    """Check that *update* can be applied to *graph*; raise :class:`UpdateError`
+    otherwise.
+
+    The check is side-effect free: neither the graph nor any overlay is touched,
+    so a driver can call it before recording metrics for the update (a failed
+    update must not skew per-update counters and benchmark denominators).
+    """
+    if isinstance(update, EdgeInsertion):
+        u, v = update.u, update.v
+        if u == v:
+            raise UpdateError(f"cannot insert self loop ({u!r}, {v!r})")
+        for w in (u, v):
+            if not graph.has_vertex(w):
+                raise UpdateError(f"edge insertion endpoint {w!r} is not in the graph")
+        if graph.has_edge(u, v):
+            raise UpdateError(f"edge ({u!r}, {v!r}) is already present")
+    elif isinstance(update, EdgeDeletion):
+        if not graph.has_edge(update.u, update.v):
+            raise UpdateError(f"edge ({update.u!r}, {update.v!r}) is not in the graph")
+    elif isinstance(update, VertexInsertion):
+        if graph.has_vertex(update.v):
+            raise UpdateError(f"vertex {update.v!r} is already present")
+        for w in update.neighbors:
+            if w != update.v and not graph.has_vertex(w):
+                raise UpdateError(f"vertex insertion neighbor {w!r} is not in the graph")
+    elif isinstance(update, VertexDeletion):
+        if not graph.has_vertex(update.v):
+            raise UpdateError(f"vertex {update.v!r} is not in the graph")
+    else:
+        raise UpdateError(f"unknown update type {update!r}")
+
+
+def apply_update(
+    graph: UndirectedGraph,
+    update: Update,
+    structure: Optional[StructureD] = None,
+) -> None:
+    """Apply *update* to *graph* and, when *structure* is given, record it as an
+    overlay on ``D`` (Theorem 9) so queries keep answering without a rebuild.
+
+    Graph-layer failures (which should not occur after :func:`validate_update`)
+    are re-raised as :class:`UpdateError` so the exception taxonomy of the
+    update API never leaks storage-level types.
+    """
+    try:
+        if isinstance(update, EdgeInsertion):
+            graph.add_edge(update.u, update.v)
+            if structure is not None:
+                structure.note_edge_inserted(update.u, update.v)
+        elif isinstance(update, EdgeDeletion):
+            graph.remove_edge(update.u, update.v)
+            if structure is not None:
+                structure.note_edge_deleted(update.u, update.v)
+        elif isinstance(update, VertexInsertion):
+            graph.add_vertex_with_edges(update.v, update.neighbors)
+            if structure is not None:
+                structure.note_vertex_inserted(update.v, update.neighbors)
+        elif isinstance(update, VertexDeletion):
+            graph.remove_vertex(update.v)
+            if structure is not None:
+                structure.note_vertex_deleted(update.v)
+        else:
+            raise UpdateError(f"unknown update type {update!r}")
+    except (GraphError, ValueError) as exc:
+        raise UpdateError(f"cannot apply {update.describe()}: {exc}") from exc

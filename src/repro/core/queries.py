@@ -173,9 +173,18 @@ class DQueryService(QueryService):
 
     The target path is decomposed into maximal ancestor–descendant segments of
     ``D``'s base tree (a constant number for the fully dynamic algorithm, up to
-    ``O(log^2 n)`` per elapsed update for the fault-tolerant algorithm —
-    Theorem 9); segments are probed starting from the preferred end, and inside
-    a segment each source vertex performs one post-order range search.
+    ``O(log^2 n)`` per elapsed update for the fault-tolerant / amortized
+    setting — Theorem 9); inside a segment each source vertex performs one
+    post-order range search.
+
+    Answers are *canonical*: the target endpoint is the target vertex nearest
+    the preferred end that has any alive edge to the source piece, and the
+    source endpoint is the first vertex in the piece's materialisation order
+    with an alive edge to that target vertex.  Both are properties of the
+    updated graph alone — independent of which base tree ``D`` happens to be
+    built on — so the fully dynamic driver produces *identical* trees whether
+    an update is served from a freshly rebuilt ``D`` or from Theorem 9 overlays
+    on a stale one.
     """
 
     def __init__(
@@ -212,6 +221,7 @@ class DQueryService(QueryService):
     def _answer_one(self, q: EdgeQuery) -> Answer:
         tree = self._tree
         pos = _position_map(q.target)
+        source_list = q.source_vertex_list(self._source_tree)
 
         known = [v for v in q.target if v in tree]
         unknown = [v for v in q.target if v not in tree]
@@ -219,30 +229,58 @@ class DQueryService(QueryService):
         if self._metrics is not None:
             self._metrics.inc("d_target_segments", max(len(segments), 1))
             self._metrics.observe_max("d_target_segments_per_query", max(len(segments), 1))
+            if self._source_tree is not self._tree:
+                self._metrics.inc("d_overlay_view_queries")
 
-        # Probe segments starting from the preferred end of the target path.
+        # Segments are contiguous runs of the target path, so their position
+        # intervals are disjoint and ordered: probe them starting from the
+        # preferred end and stop at the first hit — no later segment can hold
+        # a better position.
         ordered_segments = sorted(
             segments,
             key=lambda seg: pos[seg[-1]] if q.prefer_last else -pos[seg[0]],
             reverse=True,
         )
-
         best: Answer = None
         for seg in ordered_segments:
-            found = self._probe_segment(q, seg, pos)
+            found = self._probe_segment(q, seg, pos, source_list)
             best = _better(pos, q.prefer_last, best, found)
             if found is not None:
-                break  # later segments are farther from the preferred end
+                break
 
         # Target vertices that the base tree does not know about (vertices
         # inserted since D was built) are handled by scanning their overlay
         # adjacency — there are at most k of them.
         if unknown:
-            unknown_hit = self._probe_unknown_targets(q, unknown, pos)
+            unknown_hit = self._probe_unknown_targets(q, unknown, pos, source_list)
             best = _better(pos, q.prefer_last, best, unknown_hit)
+        if best is None:
+            return None
+        return self._canonical_answer(best, source_list)
+
+    def _canonical_answer(self, best: Answer, source_list: List[Vertex]) -> Answer:
+        """Fix the source endpoint to the first vertex in piece order with an
+        alive edge to the chosen target vertex.
+
+        The probes above guarantee the best *target* endpoint, but which source
+        vertex reported it depends on which direction (direct, reversed,
+        overlay) found the edge first — i.e. on the base tree ``D`` was built
+        on.  Re-anchoring the source makes the full answer a pure function of
+        the updated graph, which is what lets the amortized rebuild policy of
+        :class:`~repro.core.dynamic_dfs.FullyDynamicDFS` reproduce the
+        per-update-rebuild trees exactly.
+        """
+        found_u, t_star = best
+        for u in source_list:
+            if u == found_u:
+                break  # already the earliest source with an edge to t_star
+            if self._d.has_alive_edge(u, t_star):
+                return (u, t_star)
         return best
 
-    def _probe_segment(self, q: EdgeQuery, seg: List[Vertex], pos: Dict[Vertex, int]) -> Answer:
+    def _probe_segment(
+        self, q: EdgeQuery, seg: List[Vertex], pos: Dict[Vertex, int], source_list: List[Vertex]
+    ) -> Answer:
         tree = self._tree
         seg_set = set(seg)
         top, bottom = (seg[0], seg[-1]) if tree.level(seg[0]) <= tree.level(seg[-1]) else (seg[-1], seg[0])
@@ -256,7 +294,6 @@ class DQueryService(QueryService):
             return w in seg_set
 
         best: Answer = None
-        source_list = q.source_vertex_list(self._source_tree)
         # Direct direction: every source vertex searches its sorted list for a
         # neighbour on the segment (finds edges whose target endpoint is a
         # base-tree ancestor of the source vertex — the only possibility for
@@ -269,12 +306,12 @@ class DQueryService(QueryService):
         # Reversed direction: every segment vertex searches for a neighbour on
         # the source piece.  Needed when the source may contain base-tree
         # *ancestors* of target vertices: always for path-piece sources, and for
-        # every source kind in the fault-tolerant setting, where pieces are
-        # subtrees/paths of the current tree T*_{i-1} rather than of D's base
-        # tree (Theorem 9).  The source is decomposed into vertical runs of the
-        # base tree so each probe stays a range search.
-        ft_mode = self._source_tree is not self._tree
-        if q.source_kind in ("path", "vertices") or ft_mode:
+        # every source kind in the fault-tolerant / amortized-overlay setting,
+        # where pieces are subtrees/paths of the current tree T*_{i-1} rather
+        # than of D's base tree (Theorem 9).  The source is decomposed into
+        # vertical runs of the base tree so each probe stays a range search.
+        overlay_view = self._source_tree is not self._tree
+        if q.source_kind in ("path", "vertices") or overlay_view:
             src_known = [v for v in source_list if v in tree]
             src_set = set(source_list)
 
@@ -305,8 +342,10 @@ class DQueryService(QueryService):
                     break
         return best
 
-    def _probe_unknown_targets(self, q: EdgeQuery, unknown: List[Vertex], pos: Dict[Vertex, int]) -> Answer:
-        source_set = set(q.source_vertex_list(self._source_tree))
+    def _probe_unknown_targets(
+        self, q: EdgeQuery, unknown: List[Vertex], pos: Dict[Vertex, int], source_list: List[Vertex]
+    ) -> Answer:
+        source_set = set(source_list)
         ordered = sorted(unknown, key=pos.__getitem__, reverse=q.prefer_last)
         for t in ordered:
             for w in self._d.neighbors_of(t):

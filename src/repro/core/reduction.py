@@ -180,8 +180,11 @@ def _reduce_vertex_insertion(
         return ReductionResult(parent_overrides={v: VIRTUAL_ROOT})
 
     # Arbitrary choice of the attachment neighbour; the shallowest neighbour
-    # keeps the rerooted subtrees small in practice and is deterministic.
-    vj = min(neighbors, key=lambda w: (tree.level(w), neighbors.index(w)))
+    # keeps the rerooted subtrees small in practice and is deterministic
+    # (ties broken by position, precomputed so an inserted hub vertex with c
+    # neighbours costs O(c) rather than O(c^2)).
+    order = {w: i for i, w in enumerate(neighbors)}
+    vj = min(neighbors, key=lambda w: (tree.level(w), order[w]))
     result = ReductionResult(parent_overrides={v: vj})
 
     groups: Dict[Vertex, List[Vertex]] = {}

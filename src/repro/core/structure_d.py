@@ -112,6 +112,13 @@ class StructureD:
         except KeyError:
             raise VertexNotFound(v) from None
 
+    def indexes_vertex(self, v: Vertex) -> bool:
+        """True iff the structure has a post-order number for *v* (either from
+        the base tree or from an earlier overlay insertion).  Drivers use this
+        to detect re-used vertex ids, whose stale base entries make overlay
+        service ambiguous."""
+        return v in self._post
+
     # ------------------------------------------------------------------ #
     # Overlays (Theorem 9: reuse D across up to k updates)
     # ------------------------------------------------------------------ #
@@ -144,7 +151,36 @@ class StructureD:
         every existing one and is appended (via the overlay) to its neighbours'
         lists; its own list is sorted by post-order so range queries from *v*
         keep their logarithmic cost.
+
+        If *v* re-uses the id of a vertex the structure already knows (deleted
+        earlier in the same overlay epoch), the old incarnation's edges are
+        masked first: discarding *v* from the deleted-vertex set must not bring
+        edges back to life that the updated graph no longer has.
         """
+        for w in self._sorted_nbrs.get(v, ()):
+            self._deleted_edges.add(frozenset((v, w)))
+        stale_extras = self._extra_edges.get(v)
+        if stale_extras:
+            for w in stale_extras:
+                self._deleted_edges.add(frozenset((v, w)))
+            self._extra_edges[v] = []
+        self._deleted_vertices.discard(v)
+        # Mirror the graph layer's normalisation: self loops dropped,
+        # duplicates collapsed — otherwise the overlay's alive-edge view
+        # diverges from the graph and overlay_size() over-counts.
+        neighbors = [w for w in dict.fromkeys(neighbors) if w != v]
+        if v in self._tree:
+            # Re-used base-tree id: the base lists and post-order number are
+            # kept (so reset_overlays() restores the pristine structure and
+            # range searches anchored at v stay consistent) and the new
+            # incident edges are recorded exactly like edge insertions.
+            for w in neighbors:
+                if w not in self._post:
+                    continue
+                self._deleted_edges.discard(frozenset((v, w)))
+                self._extra_edges.setdefault(v, []).append(w)
+                self._extra_edges.setdefault(w, []).append(v)
+            return
         self._post[v] = self._next_virtual_post
         self._next_virtual_post += 1
         nbrs = [w for w in neighbors if w in self._post]
@@ -152,8 +188,8 @@ class StructureD:
         self._sorted_nbrs[v] = nbrs
         self._sorted_posts[v] = [self._post[w] for w in nbrs]
         for w in nbrs:
+            self._deleted_edges.discard(frozenset((v, w)))
             self._extra_edges.setdefault(w, []).append(v)
-        self._deleted_vertices.discard(v)
 
     def note_vertex_deleted(self, v: Vertex) -> None:
         """Record the deletion of vertex *v* (its stale entries are masked)."""

@@ -149,6 +149,10 @@ class UndirectedGraph:
         This mirrors the paper's vertex-insertion update, where the inserted
         vertex may arrive with an arbitrary set of incident edges.  Returns the
         list of neighbours actually connected (duplicates collapsed).
+
+        The operation is atomic: every neighbour is checked before the first
+        mutation, so a missing neighbour raises :class:`VertexNotFound` and
+        leaves the graph untouched (no partial vertex or edge set).
         """
         if v in self._adj:
             raise DuplicateVertex(v)

@@ -3,7 +3,7 @@
 rounds/messages, simulated PRAM depth and work) and helpers for analysing their
 growth."""
 
-from repro.metrics.counters import MetricsRecorder
+from repro.metrics.counters import WELL_KNOWN_COUNTERS, MetricsRecorder
 from repro.metrics.complexity import (
     estimate_power_law_exponent,
     fit_polylog_exponent,
@@ -13,6 +13,7 @@ from repro.metrics.complexity import (
 
 __all__ = [
     "MetricsRecorder",
+    "WELL_KNOWN_COUNTERS",
     "estimate_power_law_exponent",
     "fit_polylog_exponent",
     "format_table",

@@ -13,6 +13,28 @@ import time
 from contextlib import contextmanager
 from typing import Dict, Iterator, Optional
 
+#: Well-known counter names and what they measure.  The recorder itself is
+#: schema-free; this registry documents the names the engines agree on so
+#: benchmarks and dashboards do not have to reverse-engineer call sites.
+WELL_KNOWN_COUNTERS: Dict[str, str] = {
+    "updates": "updates accepted by a dynamic driver (failed updates are not counted)",
+    "update_batches": "apply_all() batches served by the amortized engine",
+    "max_update_batch_size": "largest batch handed to apply_all()",
+    "d_builds": "StructureD constructions (one per full rebuild of D)",
+    "d_build_work": "total adjacency entries processed while building D",
+    "d_rebuilds": "rebuilds triggered by FullyDynamicDFS (initial build included)",
+    "overlay_served_updates": "updates served from Theorem 9 overlays instead of a rebuild",
+    "max_overlay_size": "largest overlay (masked + extra entries) observed between rebuilds",
+    "d_vertex_queries": "per-source-vertex range searches answered by D",
+    "d_probes": "adjacency entries touched by D's range searches",
+    "d_target_segments": "base-tree segments the query targets decomposed into",
+    "d_overlay_view_queries": "queries answered while D's base tree differs from the current tree",
+    "queries": "EdgeQuery objects answered by a query service",
+    "query_batches": "independent query batches (one parallel round each)",
+    "ft_queries": "fault-tolerant query() calls",
+    "ft_updates": "updates replayed inside fault-tolerant queries",
+}
+
 
 class MetricsRecorder:
     """A hierarchical bag of counters, maxima and timers.

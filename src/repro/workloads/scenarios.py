@@ -120,6 +120,25 @@ def _long_path(n: int, seed: int, updates: int) -> Scenario:
     )
 
 
+def _sustained_churn(n: int, seed: int, updates: int) -> Scenario:
+    """Long steady edge churn on a sparse random graph.
+
+    This is the workload the amortized rebuild policy is built for: the update
+    stream is much longer than ``sqrt(m)``, so a per-update rebuild of ``D``
+    pays ``O(m)`` for every update while the amortized policy serves all but
+    every ``k``-th update from Theorem 9 overlays.  Used by
+    ``benchmarks/bench_batch_updates.py``.
+    """
+    graph = gnp_random_graph(n, min(6.0 / max(n, 1), 0.5), seed=seed, connected=True)
+    return Scenario(
+        name="sustained_churn",
+        description="sparse random graph under a long steady stream of edge churn "
+        "(amortized-rebuild showcase)",
+        graph=graph,
+        updates=edge_churn(graph, max(updates, 4 * int(graph.num_edges ** 0.5)), seed=seed + 17),
+    )
+
+
 SCENARIOS: Dict[str, Callable[[int, int, int], Scenario]] = {
     "social_network_churn": _social_network,
     "datacenter_link_flaps": _datacenter_links,
@@ -128,6 +147,7 @@ SCENARIOS: Dict[str, Callable[[int, int, int], Scenario]] = {
     "broom_failures": _broom_failures,
     "caterpillar_mixed": _caterpillar_mixed,
     "long_path": _long_path,
+    "sustained_churn": _sustained_churn,
 }
 
 

@@ -1,0 +1,96 @@
+"""Cross-validation of the amortized batch-update engine: overlay-served trees
+must be identical to the per-update-rebuild trees on randomized churn."""
+
+import pytest
+
+from repro.core.dynamic_dfs import FullyDynamicDFS
+from repro.graph.generators import gnp_random_graph
+from repro.metrics.counters import MetricsRecorder
+from repro.workloads.scenarios import build_scenario
+from repro.workloads.updates import UpdateSequenceGenerator
+
+
+def _churn(graph, count, seed, *, edge_only=False):
+    gen = UpdateSequenceGenerator(graph, seed=seed)
+    weights = {"edge_del": 1.0, "edge_ins": 1.0} if edge_only else None
+    return gen.sequence(count, weights=weights)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_overlay_served_tree_identical_to_rebuild_served_tree(seed):
+    graph = gnp_random_graph(45, 0.1, seed=seed, connected=True)
+    updates = _churn(graph, 25, seed + 100)
+    maps = {}
+    for k in (1, 6, None):
+        dyn = FullyDynamicDFS(graph, rebuild_every=k)
+        dyn.apply_all(updates)
+        assert dyn.is_valid(), (seed, k)
+        maps[k] = dyn.parent_map()
+    assert maps[1] == maps[6] == maps[None], seed
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_policies_agree_step_by_step_on_edge_churn(seed):
+    graph = gnp_random_graph(35, 0.12, seed=seed, connected=True)
+    updates = _churn(graph, 20, seed + 7, edge_only=True)
+    per_update = FullyDynamicDFS(graph, rebuild_every=1, validate=True)
+    amortized = FullyDynamicDFS(graph, rebuild_every=7, validate=True)
+    for i, upd in enumerate(updates):
+        per_update.apply(upd)
+        amortized.apply(upd)
+        assert per_update.parent_map() == amortized.parent_map(), (seed, i, upd.describe())
+
+
+def test_amortized_policy_rebuild_counts_on_sustained_churn():
+    scenario = build_scenario("sustained_churn", n=120, seed=2, updates=60)
+    updates = scenario.updates[:60]
+    counts = {}
+    for k in (1, 6):
+        metrics = MetricsRecorder()
+        dyn = FullyDynamicDFS(scenario.graph, rebuild_every=k, metrics=metrics)
+        before = metrics.as_dict()
+        dyn.apply_all(updates)
+        counts[k] = metrics.snapshot_delta(before)
+    assert counts[1]["d_builds"] == 60
+    assert counts[6]["d_builds"] == 10
+    assert counts[6]["overlay_served_updates"] == 50
+    assert counts[1].get("overlay_served_updates", 0) == 0
+    # Amortized rebuild work drops roughly k-fold.
+    assert counts[6]["d_build_work"] * 4 < counts[1]["d_build_work"]
+
+
+def test_auto_policy_bounds_overlay_by_budget():
+    graph = gnp_random_graph(150, 0.04, seed=5, connected=True)
+    metrics = MetricsRecorder()
+    dyn = FullyDynamicDFS(graph, metrics=metrics)  # rebuild_every=None (auto)
+    budget = dyn.overlay_budget()
+    updates = _churn(graph, 80, 11, edge_only=True)
+    dyn.apply_all(updates)
+    assert dyn.is_valid()
+    delta = metrics.as_dict()
+    assert delta["overlay_served_updates"] > 0
+    # Each overlay-served edge update adds at most 2 entries past the budget check.
+    assert delta["max_overlay_size"] <= budget + 2
+    # Auto-tuning must actually amortize: far fewer rebuilds than updates.
+    assert delta["d_rebuilds"] - 1 < len(updates) / 2  # -1 for the initial build
+
+
+def test_explicit_rebuild_every_validation():
+    graph = gnp_random_graph(20, 0.2, seed=1, connected=True)
+    with pytest.raises(ValueError):
+        FullyDynamicDFS(graph, rebuild_every=0)
+    with pytest.raises(ValueError):
+        FullyDynamicDFS(graph, rebuild_every=2.5)
+
+
+def test_vertex_id_reuse_forces_rebuild_and_stays_correct():
+    graph = gnp_random_graph(30, 0.15, seed=3, connected=True)
+    dyn = FullyDynamicDFS(graph, rebuild_every=50, validate=True)
+    victim = next(v for v in graph.vertices() if graph.degree(v) >= 3)
+    nbrs = [w for w in graph.neighbor_list(victim)][:2]
+    dyn.delete_vertex(victim)
+    # Re-using the id of a vertex D still indexes triggers a base refresh, so
+    # the old incarnation's edges cannot leak into query answers.
+    dyn.insert_vertex(victim, nbrs)
+    assert dyn.is_valid()
+    assert set(dyn.graph.neighbor_list(victim)) == set(nbrs)

@@ -6,7 +6,7 @@ from tests.helpers import make_updates, small_graph_family
 from repro.constants import VIRTUAL_ROOT
 from repro.core.dynamic_dfs import FullyDynamicDFS
 from repro.core.updates import EdgeInsertion
-from repro.exceptions import EdgeNotFound
+from repro.exceptions import UpdateError
 from repro.graph.generators import gnp_random_graph, path_graph
 from repro.graph.validation import is_valid_dfs_forest
 
@@ -66,11 +66,33 @@ def test_disconnection_and_reconnection():
 def test_error_propagation_and_graph_isolation():
     graph = path_graph(5)
     dyn = FullyDynamicDFS(graph)
-    with pytest.raises(EdgeNotFound):
+    # Malformed updates surface as UpdateError (the update-API taxonomy), not
+    # as the underlying graph-store exception types.
+    with pytest.raises(UpdateError):
         dyn.delete_edge(0, 4)
+    with pytest.raises(UpdateError):
+        dyn.insert_edge(2, 2)  # self loop
+    with pytest.raises(UpdateError):
+        dyn.insert_vertex(3)  # duplicate id
     # The original graph object is untouched by the driver's updates.
     dyn.delete_edge(0, 1)
     assert graph.has_edge(0, 1)
+
+
+def test_failed_updates_do_not_skew_metrics():
+    graph = path_graph(6)
+    dyn = FullyDynamicDFS(graph)
+    before = dyn.metrics.as_dict()
+    for bad in range(3):
+        with pytest.raises(UpdateError):
+            dyn.delete_edge(0, 5)
+    delta = dyn.metrics.snapshot_delta(before)
+    # A rejected update must not consume an `updates` tick nor enter the
+    # update timer: benchmark denominators stay exact.
+    assert delta.get("updates", 0) == 0
+    assert delta.get("time_update", 0) == 0
+    dyn.delete_edge(0, 1)
+    assert dyn.metrics.snapshot_delta(before)["updates"] == 1
 
 
 def test_invalid_configuration_rejected():
@@ -83,13 +105,27 @@ def test_invalid_configuration_rejected():
 
 def test_metrics_accumulate_per_update():
     graph = gnp_random_graph(40, 0.1, seed=9, connected=True)
-    dyn = FullyDynamicDFS(graph, validate=True)
+    dyn = FullyDynamicDFS(graph, rebuild_every=1, validate=True)
     updates = make_updates(graph, 10, seed=2)
     before = dyn.metrics.as_dict()
     dyn.apply_all(updates)
     delta = dyn.metrics.snapshot_delta(before)
     assert delta["updates"] == 10
-    assert delta.get("d_builds", 0) == 10  # D is rebuilt after every update
+    assert delta.get("d_builds", 0) == 10  # rebuild_every=1: D rebuilt per update
+    assert delta.get("overlay_served_updates", 0) == 0
+    assert delta.get("fallback_components", 0) == 0
+
+
+def test_amortized_policy_rebuilds_less():
+    graph = gnp_random_graph(40, 0.1, seed=9, connected=True)
+    dyn = FullyDynamicDFS(graph, rebuild_every=5, validate=True)
+    updates = make_updates(graph, 10, seed=2, vertex_updates=False)
+    before = dyn.metrics.as_dict()
+    dyn.apply_all(updates)
+    delta = dyn.metrics.snapshot_delta(before)
+    assert delta["updates"] == 10
+    assert delta.get("d_builds", 0) == 2  # every 5th update refreshes D
+    assert delta.get("overlay_served_updates", 0) == 8
     assert delta.get("fallback_components", 0) == 0
 
 

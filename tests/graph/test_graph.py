@@ -50,6 +50,18 @@ def test_add_vertex_with_unknown_neighbor_raises():
     assert not g.has_vertex(5)  # nothing was inserted
 
 
+def test_add_vertex_with_edges_is_atomic_on_missing_neighbor():
+    # The missing neighbour appears *after* valid ones: the operation must not
+    # leave the vertex or any partial edges behind.
+    g = UndirectedGraph(edges=[(0, 1), (1, 2)])
+    before = g.copy()
+    with pytest.raises(VertexNotFound):
+        g.add_vertex_with_edges(9, [0, 1, "ghost", 2])
+    assert g == before
+    assert not g.has_vertex(9)
+    assert g.num_edges == before.num_edges
+
+
 def test_add_edge_errors():
     g = UndirectedGraph(vertices=[0, 1])
     g.add_edge(0, 1)
