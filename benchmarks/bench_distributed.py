@@ -65,3 +65,56 @@ def test_distributed_rounds_vs_diameter(benchmark):
         dist.insert_edge(u0, v0)
 
     benchmark(run)
+
+
+@pytest.mark.benchmark(group="E4-distributed")
+def test_distributed_classic_vs_amortized_policy(benchmark):
+    """UpdateEngine amortization in CONGEST: the classic policy rebuilds the
+    BFS/broadcast tree (O(D) rounds) and re-disseminates the forest summary on
+    every update; ``rebuild_every=k`` reuses the cached broadcast state until
+    the policy (or a deleted broadcast-tree edge) forces a rebuild — with
+    byte-identical trees and measurably fewer rounds per update."""
+    from repro.metrics.counters import MetricsRecorder
+    from repro.workloads.scenarios import build_scenario
+
+    K = 10
+    updates_count = 100
+    sizes = scale_sizes([96, 192], [48, 96])
+    classic_rounds, amortized_rounds = [], []
+    classic_rebuilds, amortized_rebuilds = [], []
+    for n in sizes:
+        scenario = build_scenario("sustained_churn", n=n, seed=1, updates=updates_count)
+        updates = scenario.updates[:updates_count]
+        results = {}
+        for k in (1, K):
+            metrics = MetricsRecorder()
+            dist = DistributedDynamicDFS(scenario.graph, rebuild_every=k, metrics=metrics)
+            dist.apply_all(updates)
+            results[k] = (dist.parent_map(), metrics["service_rebuilds"], dist.rounds())
+        assert results[1][0] == results[K][0], f"policies diverged (n={n})"
+        assert results[1][1] >= 3 * results[K][1], "expected >=3x fewer service rebuilds"
+        assert results[K][2] < results[1][2], "expected fewer CONGEST rounds"
+        classic_rebuilds.append(results[1][1])
+        amortized_rebuilds.append(results[K][1])
+        classic_rounds.append(round(results[1][2] / updates_count, 1))
+        amortized_rounds.append(round(results[K][2] / updates_count, 1))
+
+    record_table(
+        benchmark,
+        "E4_classic_vs_amortized",
+        sizes,
+        {
+            "classic_service_rebuilds": classic_rebuilds,
+            f"rebuild_every_{K}_service_rebuilds": amortized_rebuilds,
+            "classic_rounds_per_update": classic_rounds,
+            f"rebuild_every_{K}_rounds_per_update": amortized_rounds,
+        },
+    )
+
+    scenario = build_scenario("sustained_churn", n=sizes[0], seed=1, updates=updates_count)
+
+    def run():
+        dist = DistributedDynamicDFS(scenario.graph, rebuild_every=K)
+        dist.apply_all(scenario.updates[:20])
+
+    benchmark(run)

@@ -79,11 +79,16 @@ def test_parallel_vs_sequential_on_adversarial_comb(benchmark):
     from repro.graph.traversal import static_dfs_forest
     from repro.tree.dfs_tree import DFSTree
 
+    from repro.graph.generators import comb_graph
+
     teeth_sizes = scale_sizes([16, 32, 64, 128], [8, 16])
     tooth = 6
     par_rounds, seq_depth = [], []
     for teeth in teeth_sizes:
-        graph = comb_with_back_edges(teeth, tooth)
+        # Plain comb: the only edge from each hanging subtree to the carved
+        # path is its spine edge, so the Θ(teeth) chain is forced regardless
+        # of which canonical source endpoint the query service reports.
+        graph = comb_graph(teeth, tooth)
         tree = DFSTree(static_dfs_forest(graph), root=VIRTUAL_ROOT)
         task = RerootTask(subtree_root=0, new_root=teeth + tooth - 1, attach=VIRTUAL_ROOT)
         service = BruteForceQueryService(graph, tree)

@@ -53,3 +53,56 @@ def test_streaming_passes_per_update(benchmark):
         ss.insert_edge(mid - 1, mid)
 
     benchmark(run)
+
+
+@pytest.mark.benchmark(group="E3-streaming")
+def test_streaming_classic_vs_amortized_policy(benchmark):
+    """UpdateEngine amortization in the streaming environment: the classic
+    policy rebuilds its per-update service state every update and pays one
+    pass per query batch; ``rebuild_every=k`` snapshots the stream into ``D``
+    with one pass every ``k``-th update and serves the rest pass-free from
+    Theorem 9 overlays — with byte-identical trees."""
+    from repro.metrics.counters import MetricsRecorder
+    from repro.workloads.scenarios import build_scenario
+
+    K = 10
+    updates_count = 100
+    sizes = scale_sizes([128, 256, 512], [64, 128])
+    classic_passes, amortized_passes = [], []
+    classic_rebuilds, amortized_rebuilds = [], []
+    for n in sizes:
+        scenario = build_scenario("sustained_churn", n=n, seed=1, updates=updates_count)
+        updates = scenario.updates[:updates_count]
+        results = {}
+        for k in (1, K):
+            metrics = MetricsRecorder()
+            ss = SemiStreamingDynamicDFS(scenario.graph, rebuild_every=k, metrics=metrics)
+            ss.apply_all(updates)
+            results[k] = (ss.parent_map(), metrics["service_rebuilds"], ss.passes)
+        assert results[1][0] == results[K][0], f"policies diverged (n={n})"
+        assert results[1][1] >= 3 * results[K][1], "expected >=3x fewer service rebuilds"
+        assert results[K][2] * 3 <= results[1][2], "expected far fewer stream passes"
+        classic_rebuilds.append(results[1][1])
+        amortized_rebuilds.append(results[K][1])
+        classic_passes.append(round(results[1][2] / updates_count, 2))
+        amortized_passes.append(round(results[K][2] / updates_count, 2))
+
+    record_table(
+        benchmark,
+        "E3_classic_vs_amortized",
+        sizes,
+        {
+            "classic_service_rebuilds": classic_rebuilds,
+            f"rebuild_every_{K}_service_rebuilds": amortized_rebuilds,
+            "classic_passes_per_update": classic_passes,
+            f"rebuild_every_{K}_passes_per_update": amortized_passes,
+        },
+    )
+
+    scenario = build_scenario("sustained_churn", n=sizes[-1], seed=1, updates=updates_count)
+
+    def run():
+        ss = SemiStreamingDynamicDFS(scenario.graph, rebuild_every=K)
+        ss.apply_all(scenario.updates[:20])
+
+    benchmark(run)

@@ -21,6 +21,7 @@ from repro.core.updates import (
 )
 from repro.core.reroot_sequential import SequentialRerootEngine
 from repro.core.reroot_parallel import ParallelRerootEngine
+from repro.core.engine import Backend, UpdateEngine
 from repro.core.dynamic_dfs import FullyDynamicDFS
 from repro.core.fault_tolerant import FaultTolerantDFS
 
@@ -44,6 +45,8 @@ __all__ = [
     "VertexDeletion",
     "SequentialRerootEngine",
     "ParallelRerootEngine",
+    "Backend",
+    "UpdateEngine",
     "FullyDynamicDFS",
     "FaultTolerantDFS",
 ]

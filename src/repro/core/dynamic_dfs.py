@@ -1,20 +1,26 @@
-"""Fully dynamic DFS (Theorem 13) with an amortized batch-update engine.
+"""Fully dynamic DFS (Theorem 13) on the shared :class:`UpdateEngine`.
 
 :class:`FullyDynamicDFS` maintains a DFS tree of an undirected graph under an
 arbitrary online sequence of edge/vertex insertions and deletions.  Each update
 is processed exactly as in the paper:
 
 1. the update is validated and applied to the graph;
-2. the data structure ``D`` is brought up to date — either by a full rebuild on
-   the updated graph and the *current* tree (``O(log n)`` parallel time with
-   ``m`` processors — Theorem 8), or, between rebuilds, by recording the update
-   as a small overlay on the existing ``D`` (the multi-update extension of
-   Theorem 9, shared with the fault-tolerant driver);
+2. the data structure ``D`` is brought up to date — either by a full refresh on
+   the updated graph (rebuild on the current tree, Theorem 8, or an in-place
+   :meth:`~repro.core.structure_d.StructureD.absorb_overlays`), or, between
+   refreshes, by recording the update as a small overlay on the existing ``D``
+   (the multi-update extension of Theorem 9, shared with the fault-tolerant
+   driver);
 3. the reduction algorithm turns the update into independent rerooting tasks
    (Theorem 11);
 4. the rerooting engine (parallel by default, sequential baseline available)
    executes the tasks (Theorem 12);
 5. the tree indices are rebuilt for the next update.
+
+The pipeline itself — validation, metrics, the rebuild policy, the
+reduce → reroot → commit loop — lives in
+:class:`~repro.core.engine.UpdateEngine`; this module only provides the two
+in-memory backends (``D`` and the brute-force oracle).
 
 **Rebuild policy.**  Rebuilding ``D`` costs ``O(m)`` work per update, yet
 Theorem 9 answers queries correctly for up to ``k`` overlaid updates without
@@ -28,9 +34,16 @@ touching the sorted lists.  The ``rebuild_every`` knob exploits that gap:
   overlay grows past ``~sqrt(2m)`` entries, balancing rebuild work against
   per-query overlay cost under the actual churn rate.
 
+**D maintenance.**  ``d_maintenance="rebuild"`` (default) replaces ``D``
+wholesale at each refresh (``O(m)`` spike, re-based on the current tree);
+``d_maintenance="absorb"`` folds the overlays into the existing sorted lists
+in ``O(overlay · log deg)`` (:meth:`StructureD.absorb_overlays`), keeping the
+original base tree and turning the spike into a smooth amortized cost.
+
 Because query answers are canonical (see
 :class:`repro.core.queries.DQueryService`), the maintained tree is *identical*
-under every policy — amortization changes the cost, not the output.
+under every policy and maintenance mode — amortization changes the cost, not
+the output.
 
 The graph is augmented with a virtual root connected to every vertex
 (implicitly), so disconnected graphs are handled transparently: the children of
@@ -39,15 +52,16 @@ the virtual root are the roots of the DFS forest.
 
 from __future__ import annotations
 
-from math import isqrt
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence
 
-from repro.constants import VIRTUAL_ROOT, is_virtual_root
-from repro.core.overlay import apply_update, validate_update
+from repro.constants import VIRTUAL_ROOT
+from repro.core.engine import Backend, UpdateEngine
+from repro.core.overlay import (
+    apply_update,
+    reused_vertex_id_needs_rebuild,
+    theorem9_overlay_budget,
+)
 from repro.core.queries import BruteForceQueryService, DQueryService, QueryService
-from repro.core.reduction import reduce_update
-from repro.core.reroot_parallel import ParallelRerootEngine
-from repro.core.reroot_sequential import SequentialRerootEngine
 from repro.core.structure_d import StructureD
 from repro.core.updates import (
     EdgeDeletion,
@@ -56,14 +70,98 @@ from repro.core.updates import (
     VertexDeletion,
     VertexInsertion,
 )
-from repro.exceptions import NotADFSTree
 from repro.graph.graph import UndirectedGraph
 from repro.graph.traversal import static_dfs_forest
-from repro.graph.validation import check_dfs_tree
 from repro.metrics.counters import MetricsRecorder
 from repro.tree.dfs_tree import DFSTree
 
 Vertex = Hashable
+
+
+class DStructureBackend(Backend):
+    """In-memory backend over the data structure ``D`` (Theorems 8–9).
+
+    ``rebuild()`` refreshes ``D`` on the *pre-update* graph and the current
+    tree; the update itself then enters ``D`` as an overlay, which keeps every
+    vertex of the updated graph visible to ``D`` even when the update inserts
+    a vertex the current tree cannot index yet.
+    """
+
+    name = "dynamic_dfs"
+    supports_amortization = True
+    rebuild_stage = "pre"
+
+    def __init__(
+        self,
+        graph: UndirectedGraph,
+        metrics: MetricsRecorder,
+        *,
+        d_maintenance: str = "rebuild",
+    ) -> None:
+        if d_maintenance not in ("rebuild", "absorb"):
+            raise ValueError(f"unknown d_maintenance {d_maintenance!r}")
+        self.graph = graph
+        self.metrics = metrics
+        self.structure: Optional[StructureD] = None
+        self._d_maintenance = d_maintenance
+
+    def rebuild(self, tree: DFSTree, update: Optional[Update]) -> None:
+        self.metrics.inc("d_rebuilds")
+        if (
+            self._d_maintenance == "absorb"
+            and self.structure is not None
+            and self.structure.pinned_size() <= self.overlay_budget()
+        ):
+            # Escape hatch: once the pinned cross-edge side lists outgrow the
+            # overlay budget, the per-query scans they cost have caught up
+            # with a rebuild — fall through to a full rebase on the current
+            # tree (which clears them) instead of absorbing again.
+            with self.metrics.timer("build_d"):
+                self.structure.absorb_overlays()
+            return
+        with self.metrics.timer("build_d"):
+            self.structure = StructureD(self.graph, tree, metrics=self.metrics)
+
+    def must_rebuild(self, update: Update) -> bool:
+        return reused_vertex_id_needs_rebuild(self.structure, update)
+
+    def overlay_size(self) -> int:
+        return self.structure.overlay_size()
+
+    def overlay_budget(self) -> float:
+        return theorem9_overlay_budget(self.graph.num_edges)
+
+    def mutate(self, update: Update) -> None:
+        # Theorem 9: record the update as an overlay and answer this update's
+        # queries without touching the sorted lists.
+        apply_update(self.graph, update, self.structure)
+        self.metrics.observe_max("overlay_size", self.structure.overlay_size())
+
+    def make_query_service(self, tree: DFSTree) -> QueryService:
+        return DQueryService(self.structure, source_tree=tree, metrics=self.metrics)
+
+
+class BruteBackend(Backend):
+    """Oracle backend: the adjacency-scan service reads the live graph, so
+    every update "rebuilds" (there is no reusable state to amortize)."""
+
+    name = "dynamic_dfs"
+    supports_amortization = False
+
+    def __init__(self, graph: UndirectedGraph, metrics: MetricsRecorder) -> None:
+        self.graph = graph
+        self.metrics = metrics
+
+    def rebuild(self, tree: DFSTree, update: Optional[Update]) -> None:
+        # The oracle scans the live graph at answer time, so there is no state
+        # to construct here — only the rebuild cadence is recorded.
+        self.metrics.inc("d_rebuilds")
+
+    def mutate(self, update: Update) -> None:
+        apply_update(self.graph, update)
+
+    def make_query_service(self, tree: DFSTree) -> QueryService:
+        return BruteForceQueryService(self.graph, tree, metrics=self.metrics)
 
 
 class FullyDynamicDFS:
@@ -84,6 +182,11 @@ class FullyDynamicDFS:
         ``1`` rebuilds after every update, ``k > 1`` rebuilds on every ``k``-th
         update and serves the rest from Theorem 9 overlays, ``None`` (default)
         auto-tunes the rebuild period to keep the overlay near ``sqrt(2m)``.
+    d_maintenance:
+        ``"rebuild"`` (default) — each refresh constructs a fresh ``D`` on the
+        current tree; ``"absorb"`` — each refresh folds the overlays into the
+        existing sorted lists in place (``O(overlay · log deg)`` instead of
+        ``O(m)``; the base tree stays the initial tree).
     validate:
         Check after every update that the maintained tree is a valid DFS forest
         and raise :class:`NotADFSTree` otherwise.  Also enables the strict
@@ -110,60 +213,38 @@ class FullyDynamicDFS:
         engine: str = "parallel",
         service: str = "d",
         rebuild_every: Optional[int] = None,
+        d_maintenance: str = "rebuild",
         validate: bool = False,
         metrics: Optional[MetricsRecorder] = None,
         copy_graph: bool = True,
     ) -> None:
-        if engine not in ("parallel", "sequential"):
-            raise ValueError(f"unknown engine {engine!r}")
+        # Fail fast on every knob before copying the graph or running the
+        # initial DFS, so a bad argument never records partial work.
+        UpdateEngine.validate_options(engine, rebuild_every)
         if service not in ("d", "brute"):
             raise ValueError(f"unknown service {service!r}")
-        if rebuild_every is not None and (not isinstance(rebuild_every, int) or rebuild_every < 1):
-            raise ValueError(f"rebuild_every must be a positive int or None, got {rebuild_every!r}")
+        if service == "brute" and d_maintenance != "rebuild":
+            raise ValueError('d_maintenance requires service="d"')
         self._graph = graph.copy() if copy_graph else graph
-        self._engine_kind = engine
-        self._service_kind = service
-        self._rebuild_every = rebuild_every
-        self._validate = validate
         self.metrics = metrics or MetricsRecorder("dynamic_dfs")
-        self._tree = self._initial_tree()
-        self._structure: Optional[StructureD] = None
-        self._service: Optional[QueryService] = None
-        self._updates_since_rebuild = 0
-        self._rebuild_structures()
-        if self._validate:
-            self._check()
-
-    # ------------------------------------------------------------------ #
-    # Construction helpers
-    # ------------------------------------------------------------------ #
-    def _initial_tree(self) -> DFSTree:
         with self.metrics.timer("initial_dfs"):
             parent = static_dfs_forest(self._graph)
-        return DFSTree(parent, root=VIRTUAL_ROOT)
-
-    def _rebuild_structures(self) -> None:
-        # For service="d" only the structure is (re)built here; the query
-        # service is constructed per update with the then-current tree.
-        with self.metrics.timer("build_d"):
-            if self._service_kind == "d":
-                self._structure = StructureD(self._graph, self._tree, metrics=self.metrics)
-            else:
-                self._structure = None
-                self._service = BruteForceQueryService(self._graph, self._tree, metrics=self.metrics)
-        self._updates_since_rebuild = 0
-        self.metrics.inc("d_rebuilds")
-
-    def _make_engine(self):
-        if self._engine_kind == "parallel":
-            return ParallelRerootEngine(
-                self._tree,
-                self._service,
-                adjacency=self._graph.neighbor_list,
-                metrics=self.metrics,
-                validate=self._validate,
+        tree = DFSTree(parent, root=VIRTUAL_ROOT)
+        if service == "d":
+            backend: Backend = DStructureBackend(
+                self._graph, self.metrics, d_maintenance=d_maintenance
             )
-        return SequentialRerootEngine(self._tree, self._service, metrics=self.metrics)
+        else:
+            backend = BruteBackend(self._graph, self.metrics)
+        self._backend = backend
+        self._engine = UpdateEngine(
+            backend,
+            tree,
+            rebuild_every=rebuild_every,
+            reroot_engine=engine,
+            validate=validate,
+            metrics=self.metrics,
+        )
 
     # ------------------------------------------------------------------ #
     # Read access
@@ -176,21 +257,21 @@ class FullyDynamicDFS:
     @property
     def tree(self) -> DFSTree:
         """The current DFS tree (rooted at the virtual root)."""
-        return self._tree
+        return self._engine.tree
 
     @property
     def rebuild_every(self) -> Optional[int]:
         """The configured rebuild period (``None`` = auto-tuned)."""
-        return self._rebuild_every
+        return self._engine.rebuild_every
+
+    @property
+    def update_engine(self) -> UpdateEngine:
+        """The shared :class:`UpdateEngine` driving this adapter."""
+        return self._engine
 
     def overlay_budget(self) -> int:
-        """Overlay size that triggers a rebuild under the auto-tuned policy.
-
-        Chosen as ``~sqrt(2m)``: a rebuild costs ``O(m)`` and is amortized over
-        the ``~sqrt(2m)`` overlay-served updates it absorbs, while each query
-        pays at most ``O(sqrt(2m))`` extra overlay probes (Theorem 9's ``k``).
-        """
-        return max(8, isqrt(2 * max(self._graph.num_edges, 1)))
+        """Overlay size that triggers a rebuild under the auto-tuned policy."""
+        return int(self._backend.overlay_budget())
 
     def parent_map(self, *, include_virtual_root: bool = True) -> Dict[Vertex, Optional[Vertex]]:
         """Parent map of the maintained DFS forest.
@@ -198,23 +279,15 @@ class FullyDynamicDFS:
         Without the virtual root, component roots map to ``None`` (a plain DFS
         forest of the graph).
         """
-        parent = self._tree.parent_map()
-        if include_virtual_root:
-            return parent
-        out: Dict[Vertex, Optional[Vertex]] = {}
-        for v, p in parent.items():
-            if is_virtual_root(v):
-                continue
-            out[v] = None if p is None or is_virtual_root(p) else p
-        return out
+        return self._engine.parent_map(include_virtual_root=include_virtual_root)
 
     def roots(self) -> List[Vertex]:
         """Roots of the DFS forest (children of the virtual root)."""
-        return self._tree.children(VIRTUAL_ROOT)
+        return self._engine.roots()
 
     def is_valid(self) -> bool:
         """True iff the maintained tree is currently a valid DFS forest."""
-        return not check_dfs_tree(self._graph, self._tree.parent_map())
+        return self._engine.is_valid()
 
     # ------------------------------------------------------------------ #
     # Update API
@@ -236,97 +309,9 @@ class FullyDynamicDFS:
         return self.apply(VertexDeletion(v))
 
     def apply(self, update: Update) -> DFSTree:
-        """Apply one update and return the updated DFS tree.
-
-        Malformed updates raise :class:`~repro.exceptions.UpdateError` *before*
-        any metric, timer or graph state is touched, so failed updates never
-        skew per-update counters.
-        """
-        validate_update(self._graph, update)
-        self.metrics.inc("updates")
-        with self.metrics.timer("update"):
-            self._apply_validated(update)
-        if self._validate:
-            self._check()
-        return self._tree
+        """Apply one update and return the updated DFS tree."""
+        return self._engine.apply(update)
 
     def apply_all(self, updates: Sequence[Update]) -> DFSTree:
-        """Apply a whole batch of updates in one pass; returns the final tree.
-
-        The batch is served by the amortized engine: ``D`` is rebuilt only when
-        the rebuild policy demands it, so a batch of ``b`` updates pays
-        ``O(b / k)`` rebuilds rather than ``b``.  With ``validate=True`` the
-        resulting tree is checked once at the end of the batch (the parallel
-        engine's per-task invariant checks still run throughout).
-        """
-        updates = list(updates)
-        self.metrics.inc("update_batches")
-        self.metrics.observe_max("update_batch_size", len(updates))
-        with self.metrics.timer("batch_update"):
-            for update in updates:
-                validate_update(self._graph, update)
-                self.metrics.inc("updates")
-                with self.metrics.timer("update"):
-                    self._apply_validated(update)
-        if self._validate and updates:
-            self._check()
-        return self._tree
-
-    # ------------------------------------------------------------------ #
-    # Internals
-    # ------------------------------------------------------------------ #
-    def _apply_validated(self, update: Update) -> None:
-        if self._service_kind == "d":
-            if not self._overlay_can_serve(update):
-                # Refresh the base: rebuild D on the pre-update graph and the
-                # current tree (Theorem 8).  The update itself still enters D
-                # as an overlay below — rebuilding before the mutation keeps
-                # every vertex of the updated graph visible to D even when the
-                # update inserts a vertex the current tree cannot index yet.
-                self._rebuild_structures()
-            else:
-                self._updates_since_rebuild += 1
-                self.metrics.inc("overlay_served_updates")
-            # Theorem 9: record the update as an overlay and answer this
-            # update's queries without touching the sorted lists.
-            apply_update(self._graph, update, self._structure)
-            self.metrics.observe_max("overlay_size", self._structure.overlay_size())
-            self._service = DQueryService(
-                self._structure, source_tree=self._tree, metrics=self.metrics
-            )
-        else:
-            apply_update(self._graph, update)
-            self._rebuild_structures()
-        service = self._service
-        reduction = reduce_update(update, self._tree, service, metrics=self.metrics)
-
-        new_parent = self._tree.parent_map()
-        for v in reduction.removed_vertices:
-            new_parent.pop(v, None)
-        new_parent.update(reduction.parent_overrides)
-        if reduction.tasks:
-            engine = self._make_engine()
-            assignment = engine.reroot_many(reduction.tasks)
-            new_parent.update(assignment)
-
-        if not reduction.tree_unchanged or reduction.parent_overrides or reduction.removed_vertices:
-            with self.metrics.timer("rebuild_tree"):
-                self._tree = DFSTree(new_parent, root=VIRTUAL_ROOT)
-
-    def _overlay_can_serve(self, update: Update) -> bool:
-        """True iff this update should be served from overlays instead of a
-        rebuild, according to the rebuild policy."""
-        if self._service_kind != "d":
-            return False  # the brute oracle reads the live graph; no overlays
-        if isinstance(update, VertexInsertion) and self._structure.indexes_vertex(update.v):
-            # Re-used vertex id: the base lists still reference the previous
-            # incarnation of v; a rebuild keeps the structure unambiguous.
-            return False
-        if self._rebuild_every is not None:
-            return self._updates_since_rebuild + 1 < self._rebuild_every
-        return self._structure.overlay_size() < self.overlay_budget()
-
-    def _check(self) -> None:
-        problems = check_dfs_tree(self._graph, self._tree.parent_map())
-        if problems:
-            raise NotADFSTree("; ".join(problems[:5]))
+        """Apply a whole batch of updates in one pass; returns the final tree."""
+        return self._engine.apply_all(updates)

@@ -1,4 +1,4 @@
-"""Fault tolerant DFS (Theorem 14).
+"""Fault tolerant DFS (Theorem 14) on the shared :class:`UpdateEngine`.
 
 The graph is preprocessed **once**: the initial DFS forest ``T_0`` and the data
 structure ``D`` (built on ``T_0``) are stored.  A query then supplies a batch of
@@ -15,30 +15,65 @@ updated graph, computed *without ever rebuilding* ``D``:
   and gives Theorem 14 its ``k``-dependent exponent.  The per-query segment
   counts are recorded in the metrics so benchmark E2 can reproduce that growth.
 
-Because the preprocessed state is never modified (overlays are reset after each
-query), :meth:`FaultTolerantDFS.query` may be called any number of times with
-independent update batches, exactly like a fault-tolerant data structure.
+In :class:`~repro.core.engine.UpdateEngine` terms the driver is simply the
+``D`` pipeline with a *never-rebuild* policy: the backend reports an infinite
+overlay budget, so every update of a query batch is overlay-served against the
+preprocessed structure.  Because the preprocessed state is never modified
+(overlays are reset after each query), :meth:`FaultTolerantDFS.query` may be
+called any number of times with independent update batches, exactly like a
+fault-tolerant data structure.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Hashable, Optional, Sequence, Tuple
 
 from repro.constants import VIRTUAL_ROOT
-from repro.core.overlay import apply_update, validate_update
-from repro.core.queries import DQueryService
-from repro.core.reduction import reduce_update
-from repro.core.reroot_parallel import ParallelRerootEngine
+from repro.core.engine import Backend, UpdateEngine
+from repro.core.overlay import apply_update
+from repro.core.queries import DQueryService, QueryService
 from repro.core.structure_d import StructureD
 from repro.core.updates import Update
-from repro.exceptions import NotADFSTree
 from repro.graph.graph import UndirectedGraph
 from repro.graph.traversal import static_dfs_forest
-from repro.graph.validation import check_dfs_tree
 from repro.metrics.counters import MetricsRecorder
 from repro.tree.dfs_tree import DFSTree
 
 Vertex = Hashable
+
+
+class _PreprocessedDBackend(Backend):
+    """Backend over a preprocessed ``D`` that is never rebuilt (Theorem 9
+    with unbounded ``k``): every update is overlay-served."""
+
+    name = "fault_tolerant_dfs"
+    supports_amortization = True
+
+    def __init__(
+        self, graph: UndirectedGraph, structure: StructureD, metrics: MetricsRecorder
+    ) -> None:
+        self.graph = graph
+        self.structure = structure
+        self.metrics = metrics
+
+    def overlay_budget(self) -> float:
+        return math.inf  # never rebuild: the preprocessed D must stay pristine
+
+    def rebuild(self, tree: DFSTree, update: Optional[Update]) -> None:  # pragma: no cover
+        raise AssertionError("the fault-tolerant backend never rebuilds D")
+
+    def mutate(self, update: Update) -> None:
+        # Shared overlay bookkeeping (also used by FullyDynamicDFS between
+        # amortized rebuilds): mutate the working graph and record the update
+        # on the preprocessed D (Theorem 9).
+        apply_update(self.graph, update, self.structure)
+
+    def make_query_service(self, tree: DFSTree) -> QueryService:
+        return DQueryService(self.structure, source_tree=tree, metrics=self.metrics)
+
+    def begin_update(self, update: Update) -> None:
+        self.metrics.inc("ft_updates")
 
 
 class FaultTolerantDFS:
@@ -108,42 +143,20 @@ class FaultTolerantDFS:
         self.metrics.inc("ft_queries")
         self.metrics.observe_max("ft_batch_size", len(updates))
         graph = self._graph0.copy()
-        current = self._tree0
         self._structure.reset_overlays()
+        backend = _PreprocessedDBackend(graph, self._structure, self.metrics)
+        engine = UpdateEngine(
+            backend,
+            self._tree0,
+            rebuild_every=None,  # with an infinite budget: never rebuild
+            validate=self._validate,
+            metrics=self.metrics,
+            initial_rebuild=False,
+        )
         try:
-            for i, update in enumerate(updates):
-                validate_update(graph, update)
-                self.metrics.inc("ft_updates")
-                # Shared overlay bookkeeping (also used by FullyDynamicDFS
-                # between amortized rebuilds): mutate the working graph and
-                # record the update on the preprocessed D (Theorem 9).
-                apply_update(graph, update, self._structure)
-                service = DQueryService(
-                    self._structure, source_tree=current, metrics=self.metrics
-                )
-                reduction = reduce_update(update, current, service, metrics=self.metrics)
-
-                new_parent = current.parent_map()
-                for v in reduction.removed_vertices:
-                    new_parent.pop(v, None)
-                new_parent.update(reduction.parent_overrides)
-                if reduction.tasks:
-                    engine = ParallelRerootEngine(
-                        current,
-                        service,
-                        adjacency=graph.neighbor_list,
-                        metrics=self.metrics,
-                        validate=self._validate,
-                    )
-                    new_parent.update(engine.reroot_many(reduction.tasks))
-                current = DFSTree(new_parent, root=VIRTUAL_ROOT)
-                if self._validate:
-                    problems = check_dfs_tree(graph, current.parent_map())
-                    if problems:
-                        raise NotADFSTree(
-                            f"after update {i} ({update.describe()}): " + "; ".join(problems[:5])
-                        )
+            for update in updates:
+                engine.apply(update)
         finally:
             # The preprocessed structure must stay pristine for the next query.
             self._structure.reset_overlays()
-        return current, graph
+        return engine.tree, graph

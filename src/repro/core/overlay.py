@@ -17,6 +17,7 @@ touched.
 
 from __future__ import annotations
 
+from math import isqrt
 from typing import Optional
 
 from repro.core.structure_d import StructureD
@@ -29,6 +30,27 @@ from repro.core.updates import (
 )
 from repro.exceptions import GraphError, UpdateError
 from repro.graph.graph import UndirectedGraph
+
+
+def theorem9_overlay_budget(num_edges: int) -> int:
+    """Overlay size that triggers a ``D`` refresh under the auto-tuned policy.
+
+    Chosen as ``~sqrt(2m)``: a rebuild costs ``O(m)`` and is amortized over the
+    ``~sqrt(2m)`` overlay-served updates it absorbs, while each query pays at
+    most ``O(sqrt(2m))`` extra overlay probes (Theorem 9's ``k``).  Shared by
+    every backend that amortizes over a :class:`StructureD`.
+    """
+    return max(8, isqrt(2 * max(num_edges, 1)))
+
+
+def reused_vertex_id_needs_rebuild(structure: StructureD, update: Update) -> bool:
+    """True when *update* re-inserts a vertex id the structure still indexes.
+
+    The stale base entries of the previous incarnation make overlay service
+    ambiguous, so amortizing backends must force a refresh (a rebuild, or an
+    absorb — which purges the stale entries) before recording the insertion.
+    """
+    return isinstance(update, VertexInsertion) and structure.indexes_vertex(update.v)
 
 
 def validate_update(graph: UndirectedGraph, update: Update) -> None:

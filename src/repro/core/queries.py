@@ -126,13 +126,26 @@ def _position_map(target: Sequence[Vertex]) -> Dict[Vertex, int]:
     return {v: i for i, v in enumerate(target)}
 
 
-def _better(pos: Dict[Vertex, int], prefer_last: bool, a: Answer, b: Answer) -> Answer:
-    """Pick the answer whose target endpoint is nearer the preferred end."""
+def _better(
+    pos: Dict[Vertex, int],
+    prefer_last: bool,
+    a: Answer,
+    b: Answer,
+    source_rank=None,
+) -> Answer:
+    """Pick the answer whose target endpoint is nearer the preferred end.
+
+    When *source_rank* (a ``vertex -> sortable`` callable) is given, ties on
+    the target position are broken towards the smaller source rank — the hook
+    the oracle service uses to produce canonical answers directly.
+    """
     if a is None:
         return b
     if b is None:
         return a
     pa, pb = pos[a[1]], pos[b[1]]
+    if pa == pb and source_rank is not None:
+        return a if source_rank(a[0]) <= source_rank(b[0]) else b
     if prefer_last:
         return a if pa >= pb else b
     return a if pa <= pb else b
@@ -159,12 +172,17 @@ class BruteForceQueryService(QueryService):
     def _answer_one(self, q: EdgeQuery) -> Answer:
         pos = _position_map(q.target)
         best: Answer = None
+        tree = self._tree
+
+        def rank(v: Vertex):
+            return tree.postorder(v) if v in tree else (1 << 60)
+
         for u in q.source_vertex_list(self._tree):
             if not self._graph.has_vertex(u):
                 continue
             for w in self._graph.neighbors(u):
                 if w in pos:
-                    best = _better(pos, q.prefer_last, best, (u, w))
+                    best = _better(pos, q.prefer_last, best, (u, w), source_rank=rank)
         return best
 
 
@@ -179,12 +197,13 @@ class DQueryService(QueryService):
 
     Answers are *canonical*: the target endpoint is the target vertex nearest
     the preferred end that has any alive edge to the source piece, and the
-    source endpoint is the first vertex in the piece's materialisation order
-    with an alive edge to that target vertex.  Both are properties of the
-    updated graph alone — independent of which base tree ``D`` happens to be
-    built on — so the fully dynamic driver produces *identical* trees whether
-    an update is served from a freshly rebuilt ``D`` or from Theorem 9 overlays
-    on a stale one.
+    source endpoint is the piece vertex with the smallest post-order number in
+    the *current* tree among those with an alive edge to that target vertex.
+    Both are properties of the updated graph and the current tree alone —
+    independent of which base tree ``D`` happens to be built on — so every
+    driver (and every rebuild policy) produces *identical* trees whether an
+    update is served from a freshly rebuilt ``D``, from Theorem 9 overlays on
+    a stale one, from stream passes, or from CONGEST broadcasts.
     """
 
     def __init__(
@@ -256,26 +275,68 @@ class DQueryService(QueryService):
             best = _better(pos, q.prefer_last, best, unknown_hit)
         if best is None:
             return None
-        return self._canonical_answer(best, source_list)
+        return self._canonical_answer(q, best, source_list)
 
-    def _canonical_answer(self, best: Answer, source_list: List[Vertex]) -> Answer:
-        """Fix the source endpoint to the first vertex in piece order with an
-        alive edge to the chosen target vertex.
+    def _canonical_answer(self, q: EdgeQuery, best: Answer, source_list: List[Vertex]) -> Answer:
+        """Fix the source endpoint to the piece vertex with the smallest
+        post-order number (in the *current* tree) having an alive edge to the
+        chosen target vertex.
 
         The probes above guarantee the best *target* endpoint, but which source
         vertex reported it depends on which direction (direct, reversed,
         overlay) found the edge first — i.e. on the base tree ``D`` was built
         on.  Re-anchoring the source makes the full answer a pure function of
-        the updated graph, which is what lets the amortized rebuild policy of
-        :class:`~repro.core.dynamic_dfs.FullyDynamicDFS` reproduce the
-        per-update-rebuild trees exactly.
+        the updated graph and the current tree, which is what lets the
+        amortized rebuild policy of
+        :class:`~repro.core.dynamic_dfs.FullyDynamicDFS` (and the streaming /
+        distributed adapters) reproduce the per-update-rebuild trees exactly.
+
+        Cost: for subtree pieces of ``D``'s own base tree the piece occupies a
+        contiguous post-order interval, so the re-anchor is a single binary
+        search in the target's sorted list (``O(log deg)``); other piece kinds
+        fall back to scanning the target's adjacency (``O(deg)``), never the
+        piece.  Probes are counted under ``d_reanchor_probes``.
         """
         found_u, t_star = best
-        for u in source_list:
-            if u == found_u:
-                break  # already the earliest source with an edge to t_star
-            if self._d.has_alive_edge(u, t_star):
-                return (u, t_star)
+        tree = self._tree
+        src_tree = self._source_tree
+        probes = 0
+        canonical: Optional[Vertex] = None
+        if (
+            q.source_kind == "tree"
+            and src_tree is tree
+            and q.source_root in tree
+        ):
+            # Postorder-interval index: T(root) occupies exactly the interval
+            # [post(root) - size(root) + 1, post(root)] of the base tree.
+            hi = tree.postorder(q.source_root)
+            lo = hi - tree.subtree_size(q.source_root) + 1
+            canonical, probes = self._d.min_post_alive_neighbor(t_star, lo, hi)
+        else:
+            if q.source_kind == "tree" and q.source_root in src_tree:
+                root = q.source_root
+
+                def member(w: Vertex) -> bool:
+                    return w in src_tree and src_tree.is_ancestor(root, w)
+
+            else:
+                src_set = set(source_list)
+
+                def member(w: Vertex) -> bool:
+                    return w in src_set
+
+            best_rank: Optional[int] = None
+            for w in self._d.neighbors_of(t_star):
+                probes += 1
+                if not member(w) or w not in src_tree:
+                    continue
+                r = src_tree.postorder(w)
+                if best_rank is None or r < best_rank:
+                    canonical, best_rank = w, r
+        if self._metrics is not None:
+            self._metrics.inc("d_reanchor_probes", max(probes, 1))
+        if canonical is not None:
+            return (canonical, t_star)
         return best
 
     def _probe_segment(

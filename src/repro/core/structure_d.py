@@ -19,6 +19,7 @@ original lists are never rebuilt.  This is what the fault-tolerant driver uses.
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
+from itertools import chain
 from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
 from repro.exceptions import VertexNotFound
@@ -68,6 +69,12 @@ class StructureD:
         self._extra_edges: Dict[Vertex, List[Vertex]] = {}
         self._deleted_edges: Set[frozenset] = set()
         self._deleted_vertices: Set[Vertex] = set()
+        # Pinned side lists (absorb mode): inserted edges that are *cross*
+        # edges w.r.t. the base tree, or incident to overlay-inserted
+        # vertices, cannot enter the sorted lists without breaking the
+        # back-edge property the range searches rely on; absorb_overlays()
+        # parks them here and queries keep scanning them like overlays.
+        self._cross_edges: Dict[Vertex, List[Vertex]] = {}
         self._next_virtual_post = tree.num_vertices  # inserted vertices go last
         self._build()
 
@@ -136,12 +143,13 @@ class StructureD:
         the adjacency of a vertex inserted after preprocessing), or in both; the
         overlay entries are dropped and the edge is masked for the base lists.
         """
-        extra_u = self._extra_edges.get(u)
-        if extra_u and v in extra_u:
-            extra_u.remove(v)
-        extra_v = self._extra_edges.get(v)
-        if extra_v and u in extra_v:
-            extra_v.remove(u)
+        for store in (self._extra_edges, self._cross_edges):
+            lst_u = store.get(u)
+            if lst_u and v in lst_u:
+                lst_u.remove(v)
+            lst_v = store.get(v)
+            if lst_v and u in lst_v:
+                lst_v.remove(u)
         self._deleted_edges.add(frozenset((u, v)))
 
     def note_vertex_inserted(self, v: Vertex, neighbors: Iterable[Vertex]) -> None:
@@ -159,11 +167,12 @@ class StructureD:
         """
         for w in self._sorted_nbrs.get(v, ()):
             self._deleted_edges.add(frozenset((v, w)))
-        stale_extras = self._extra_edges.get(v)
-        if stale_extras:
-            for w in stale_extras:
-                self._deleted_edges.add(frozenset((v, w)))
-            self._extra_edges[v] = []
+        for store in (self._extra_edges, self._cross_edges):
+            stale = store.get(v)
+            if stale:
+                for w in stale:
+                    self._deleted_edges.add(frozenset((v, w)))
+                store[v] = []
         self._deleted_vertices.discard(v)
         # Mirror the graph layer's normalisation: self loops dropped,
         # duplicates collapsed — otherwise the overlay's alive-edge view
@@ -198,8 +207,10 @@ class StructureD:
     def reset_overlays(self) -> None:
         """Forget every overlay (used by the fault-tolerant driver between
         independent batches of updates, which always start from the original
-        graph again)."""
+        graph again).  Must not be mixed with :meth:`absorb_overlays`, which
+        folds overlays into the base lists destructively."""
         self._extra_edges.clear()
+        self._cross_edges.clear()
         self._deleted_edges.clear()
         self._deleted_vertices.clear()
         # Drop sorted lists of vertices that only exist through overlays.
@@ -210,12 +221,141 @@ class StructureD:
         self._next_virtual_post = self._tree.num_vertices
 
     def overlay_size(self) -> int:
-        """Number of overlay entries currently masking / extending the base lists."""
+        """Number of overlay entries currently masking / extending the base
+        lists.  Pinned cross entries (see :meth:`absorb_overlays`) are *not*
+        counted: no rebuild policy can absorb them, so counting them would
+        make the auto-tuned policy rebuild forever for no gain — use
+        :meth:`pinned_size` to observe them."""
         return (
             sum(len(lst) for lst in self._extra_edges.values())
             + len(self._deleted_edges)
             + len(self._deleted_vertices)
         )
+
+    def pinned_size(self) -> int:
+        """Number of pinned cross entries left behind by :meth:`absorb_overlays`."""
+        return sum(len(lst) for lst in self._cross_edges.values())
+
+    def _overlay_neighbors(self, u: Vertex):
+        """All overlay-recorded neighbours of *u* (inserted + pinned)."""
+        return chain(self._extra_edges.get(u, ()), self._cross_edges.get(u, ()))
+
+    # ------------------------------------------------------------------ #
+    # Incremental maintenance (absorb instead of rebuild)
+    # ------------------------------------------------------------------ #
+    def _remove_sorted_entry(self, u: Vertex, w: Vertex) -> int:
+        """Remove *w* from *u*'s sorted lists if present; returns entries probed."""
+        posts = self._sorted_posts.get(u)
+        if not posts:
+            return 0
+        p = self._post.get(w)
+        if p is None:
+            return 0
+        nbrs = self._sorted_nbrs[u]
+        i = bisect_left(posts, p)
+        probes = 1
+        while i < len(posts) and posts[i] == p:
+            if nbrs[i] == w:
+                posts.pop(i)
+                nbrs.pop(i)
+                return probes
+            i += 1
+            probes += 1
+        return probes
+
+    def _insert_sorted_entry(self, u: Vertex, w: Vertex) -> int:
+        """Insert *w* into *u*'s sorted lists (no-op when already present)."""
+        posts = self._sorted_posts.setdefault(u, [])
+        nbrs = self._sorted_nbrs.setdefault(u, [])
+        p = self._post[w]
+        i = bisect_left(posts, p)
+        probes = 1
+        while i < len(posts) and posts[i] == p:
+            if nbrs[i] == w:
+                return probes  # already absorbed (e.g. mask discarded by re-insert)
+            i += 1
+            probes += 1
+        posts.insert(i, p)
+        nbrs.insert(i, w)
+        return probes
+
+    def absorb_overlays(self) -> None:
+        """Fold the accumulated overlays into the sorted base lists in place.
+
+        The incremental alternative to a full ``_build()``: deletions are
+        purged from the lists, and inserted edges whose endpoints form an
+        ancestor–descendant pair of the base tree are insorted by post-order
+        number — ``O(log deg)`` to locate each entry, ``O(overlay)`` entries —
+        so the periodic ``O(m)`` rebuild spike becomes a smooth amortized
+        cost.  Inserted edges that are *cross* edges w.r.t. the base tree (or
+        incident to overlay-inserted vertices) cannot enter the sorted lists:
+        the range searches would miss them because neither endpoint is a
+        base-tree ancestor of the other.  They are pinned to a side list that
+        queries keep scanning exactly like Theorem 9 overlays.
+
+        After absorbing, queries answer *byte-identically* to a structure
+        freshly built on the updated graph and the same base tree (the
+        property the tests cross-validate); unlike a rebuild, the base tree —
+        and therefore every post-order number — stays fixed.  Counted under
+        ``d_absorbs`` / ``d_absorb_work``.
+        """
+        work = 0
+        # 1. Deleted edges: purge from the sorted and side lists of both ends.
+        for key in self._deleted_edges:
+            pair = tuple(key)
+            u, v = pair if len(pair) == 2 else (pair[0], pair[0])
+            for a, b in ((u, v), (v, u)):
+                work += self._remove_sorted_entry(a, b)
+                for store in (self._extra_edges, self._cross_edges):
+                    lst = store.get(a)
+                    if lst and b in lst:
+                        lst.remove(b)
+                        work += 1
+        self._deleted_edges.clear()
+        # 2. Deleted vertices: drop their lists and their entries at every
+        #    ex-neighbour.  Base-tree vertices keep their post-order number
+        #    (queries still anchor ranges at them); overlay vertices vanish.
+        for v in self._deleted_vertices:
+            nbrs = set(self._sorted_nbrs.pop(v, ()))
+            self._sorted_posts.pop(v, None)
+            nbrs.update(self._extra_edges.pop(v, ()))
+            nbrs.update(self._cross_edges.pop(v, ()))
+            for w in nbrs:
+                work += self._remove_sorted_entry(w, v)
+                for store in (self._extra_edges, self._cross_edges):
+                    lst = store.get(w)
+                    while lst and v in lst:
+                        lst.remove(v)
+                        work += 1
+            if v not in self._tree:
+                self._post.pop(v, None)
+            work += 1
+        self._deleted_vertices.clear()
+        # 3. Inserted edges: absorb ancestor–descendant pairs, pin the rest.
+        tree = self._tree
+        pinned_seen: Dict[Vertex, Set[Vertex]] = {}
+        for u, lst in list(self._extra_edges.items()):
+            for w in lst:  # the mirror entry handles the other endpoint
+                if (
+                    u in tree
+                    and w in tree
+                    and (tree.is_ancestor(u, w) or tree.is_ancestor(w, u))
+                ):
+                    work += self._insert_sorted_entry(u, w)
+                else:
+                    pinned = self._cross_edges.setdefault(u, [])
+                    seen = pinned_seen.get(u)
+                    if seen is None:
+                        seen = pinned_seen[u] = set(pinned)
+                    if w not in seen:
+                        pinned.append(w)
+                        seen.add(w)
+                    work += 1
+        self._extra_edges.clear()
+        if self._metrics is not None:
+            self._metrics.inc("d_absorbs")
+            self._metrics.inc("d_absorb_work", work)
+            self._metrics.observe_max("pinned_overlay_size", self.pinned_size())
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -302,7 +442,7 @@ class StructureD:
                         best, best_level = w, w_level
 
         # Overlay edges (few per vertex; linear scan as in Theorem 9).
-        for w in self._extra_edges.get(u, ()):  # pragma: no branch
+        for w in self._overlay_neighbors(u):  # pragma: no branch
             probes += 1
             if not self._edge_alive(u, w):
                 continue
@@ -329,13 +469,50 @@ class StructureD:
         except Exception:  # vertex inserted after the base tree was built
             return 1 << 30
 
+    def min_post_alive_neighbor(
+        self, u: Vertex, lo: int, hi: int
+    ) -> Tuple[Optional[Vertex], int]:
+        """Alive neighbour of *u* with the smallest post-order number in
+        ``[lo, hi]``, together with the number of entries probed.
+
+        Because a subtree of the base tree occupies a contiguous post-order
+        interval, this answers "the piece vertex adjacent to *u* that comes
+        first in post order" with one binary search plus a short scan — the
+        postorder-interval index behind canonical source re-anchoring
+        (:meth:`repro.core.queries.DQueryService._canonical_answer`).
+        """
+        probes = 0
+        best: Optional[Vertex] = None
+        best_post: Optional[int] = None
+        posts = self._sorted_posts.get(u)
+        if posts:
+            nbrs = self._sorted_nbrs[u]
+            i = bisect_left(posts, lo)
+            while i < len(posts) and posts[i] <= hi:
+                probes += 1
+                w = nbrs[i]
+                if self._edge_alive(u, w):
+                    best, best_post = w, posts[i]
+                    break
+                i += 1
+        for w in self._overlay_neighbors(u):  # overlay edges (few per vertex)
+            probes += 1
+            if not self._edge_alive(u, w):
+                continue
+            p = self._post.get(w)
+            if p is None or p < lo or p > hi:
+                continue
+            if best_post is None or p < best_post:
+                best, best_post = w, p
+        return best, probes
+
     def neighbors_of(self, u: Vertex) -> List[Vertex]:
         """All currently-alive neighbours of *u* according to the structure."""
         out = []
         for w in self._sorted_nbrs.get(u, []):
             if self._edge_alive(u, w):
                 out.append(w)
-        for w in self._extra_edges.get(u, ()):  # inserted edges
+        for w in self._overlay_neighbors(u):  # inserted + pinned edges
             if self._edge_alive(u, w):
                 out.append(w)
         return out
@@ -344,7 +521,7 @@ class StructureD:
         """True iff the edge ``(u, w)`` exists after applying the overlays."""
         if not self._edge_alive(u, w):
             return False
-        if w in self._extra_edges.get(u, ()):
+        if w in self._extra_edges.get(u, ()) or w in self._cross_edges.get(u, ()):
             return True
         posts = self._sorted_posts.get(u)
         if posts is None or w not in self._post:

@@ -535,7 +535,20 @@ class TraversalPlanner:
             ]
             eligible_chain = [t for t, a in zip(hanging_chain, answers) if a is not None]
 
-        restricted = [t for t in eligible_root if t.root != v_l_child] + eligible_chain
+        # (x_d, y_d): the lowest edge on the root path from any piece that will
+        # stay connected to pc after the traversal — the eligible hanging
+        # trees, the hanging trees of the heavy chain, the other component
+        # trees (every one of them is adjacent to pc by the C2 invariant), and
+        # pc itself.  The p traversal only covers the root path from y_* down,
+        # so y_d must dominate *all* of these edges: leaving out pc (or a
+        # pc-connected tree) lets the untraversed remainder above y_* stay
+        # adjacent to pc, merging two path pieces into one component — the
+        # C1/C2 leftover-piece gap Process-Comp used to trip on.
+        other_trees = [t for t in comp.trees if t is not tau]
+        restricted_trees = (
+            [t for t in eligible_root if t.root != v_l_child] + eligible_chain + other_trees
+        )
+        restricted: List[object] = restricted_trees + [pc]
         xd_yd: Answer = None
         if restricted:
             answers = yield [
@@ -549,7 +562,7 @@ class TraversalPlanner:
         y_d = xd_yd[1] if xd_yd is not None else rc
         tau_d: Optional[TreePiece] = None
         if xd_yd is not None:
-            for t in restricted:
+            for t in restricted_trees:
                 if t.contains(tree, xd_yd[0]):
                     tau_d = t
                     break

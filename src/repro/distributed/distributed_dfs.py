@@ -1,4 +1,5 @@
-"""Distributed fully dynamic DFS in synchronous CONGEST(n/D) (Theorem 16).
+"""Distributed fully dynamic DFS in synchronous CONGEST(n/D) (Theorem 16) on
+the shared :class:`~repro.core.engine.UpdateEngine`.
 
 Model (Section 6.2 of the paper): one processor per graph vertex, communication
 only along graph edges, messages of at most ``B = ceil(n/D)`` words per edge per
@@ -6,15 +7,27 @@ round, ``O(n)`` memory per node.  Every node stores the current DFS tree ``T``
 and its own adjacency list; tree operations are therefore local, and the only
 distributed computation is answering the rerooting engine's query batches:
 
-1. after every update a BFS tree is rebuilt from a deterministic initiator
-   (``O(D)`` rounds, ``O(m)`` messages);
+1. a BFS (broadcast) tree rooted at a deterministic initiator is rebuilt when
+   the rebuild policy demands it (``O(D)`` rounds, ``O(m)`` messages) — or,
+   under the amortized policy, the cached BFS tree of a previous update is
+   reused as long as the mutations left it structurally intact;
 2. the update itself (up to ``O(n)`` words for a vertex insertion) is
    disseminated with a pipelined broadcast;
 3. each batch of ``q ≤ n`` independent queries is answered by a pipelined
    convergecast of the per-node partial answers followed by a broadcast of the
    combined answers (``O(D + q/B)`` rounds);
 4. after the tree is updated, the articulation points/bridges summary is
-   re-broadcast so future deletions can pick broadcast initiators locally.
+   re-broadcast on rebuild updates so future deletions can pick broadcast
+   initiators locally.
+
+**Amortized policy.**  ``rebuild_every=1`` (default) rebuilds the BFS tree and
+re-broadcasts the summary on every update (the classic behaviour);
+``rebuild_every=k > 1`` (or ``None``) reuses the cached broadcast state, so an
+overlay-served update only pays the dissemination and query rounds.  A
+mutation that structurally invalidates the cache — a deleted BFS-tree edge or
+node — forces a rebuild regardless of the policy.  Query *answers* never
+depend on the cache (each node answers from its live adjacency list), so all
+policies maintain byte-identical trees.
 
 The driver reports rounds, messages and maximum message size per update so
 benchmark E4 can check the ``O(D log^2 n)`` rounds / ``O(nD log^2 n + m)``
@@ -26,9 +39,8 @@ from __future__ import annotations
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence
 
 from repro.constants import VIRTUAL_ROOT
+from repro.core.engine import Backend, UpdateEngine, update_words
 from repro.core.queries import Answer, BruteForceQueryService, EdgeQuery, QueryService
-from repro.core.reduction import reduce_update
-from repro.core.reroot_parallel import ParallelRerootEngine
 from repro.core.updates import (
     EdgeDeletion,
     EdgeInsertion,
@@ -38,10 +50,9 @@ from repro.core.updates import (
 )
 from repro.distributed.forest import articulation_points_and_bridges
 from repro.distributed.network import CongestNetwork, recommended_bandwidth
-from repro.exceptions import NotADFSTree, UpdateError
+from repro.exceptions import UpdateError
 from repro.graph.graph import UndirectedGraph
 from repro.graph.traversal import static_dfs_forest
-from repro.graph.validation import check_dfs_tree
 from repro.metrics.counters import MetricsRecorder
 from repro.tree.dfs_tree import DFSTree
 
@@ -87,21 +98,177 @@ class DistributedQueryService(QueryService):
         return answers
 
 
+class CongestBackend(Backend):
+    """CONGEST backend: owns the network simulator and the cached broadcast
+    (BFS) tree.  The cache is maintained incrementally across overlay-served
+    updates and declared invalid when a mutation removes one of its edges."""
+
+    name = "distributed_dfs"
+    supports_amortization = True
+    rebuild_stage = "post"  # the broadcast tree must span the updated graph
+
+    def __init__(
+        self, graph: UndirectedGraph, network: CongestNetwork, metrics: MetricsRecorder
+    ) -> None:
+        self.graph = graph
+        self.network = network
+        self.metrics = metrics
+        self.bfs_parent: Dict[Vertex, Optional[Vertex]] = {}
+        self.bfs_depth: Dict[Vertex, int] = {}
+        self._cache_broken = True
+        self._rebuilt_this_update = False
+        self._update_words = 0
+        self._rounds_before = 0
+        self._messages_before = 0
+        self.articulation: set = set()
+        self.bridges: set = set()
+
+    # ------------------------------------------------------------------ #
+    def overlay_budget(self) -> float:
+        # A stale (but intact) broadcast tree never degrades query answers —
+        # only the round accounting of its depths — so the auto policy
+        # rebuilds only when the cache is structurally broken.
+        return float("inf")
+
+    def rebuild(self, tree: DFSTree, update: Optional[Update]) -> None:
+        self._rebuilt_this_update = True
+        initiator = self._pick_initiator(tree, update)
+        if self.graph.num_vertices:
+            self.bfs_parent, self.bfs_depth = self.network.build_bfs_tree(initiator)
+            # Components the initiator cannot reach still hold their nodes:
+            # track them as additional broadcast roots (accounting only).
+            for v in self.graph.vertices():
+                if v not in self.bfs_parent:
+                    self.bfs_parent[v] = None
+                    self.bfs_depth[v] = 0
+        else:  # pragma: no cover - the model needs at least one node
+            self.bfs_parent, self.bfs_depth = {initiator: None}, {initiator: 0}
+        self._cache_broken = False
+
+    def cache_invalid(self, update: Update) -> bool:
+        return self._cache_broken
+
+    def _pick_initiator(self, tree: DFSTree, update: Optional[Update]) -> Vertex:
+        """The unique node that initiates the recovery broadcast (Section 6.2).
+
+        Deterministic and O(degree): an endpoint of the update, or — for a
+        vertex deletion — the first surviving old-tree neighbour in tree
+        order.  The fallback takes the graph's first vertex (insertion order)
+        instead of stringifying the whole vertex set.
+        """
+        graph = self.graph
+        candidates: List[Vertex] = []
+        if isinstance(update, (EdgeInsertion, EdgeDeletion)):
+            candidates = [v for v in (update.u, update.v) if graph.has_vertex(v)]
+        elif isinstance(update, VertexInsertion):
+            candidates = [update.v] if graph.has_vertex(update.v) else []
+        elif isinstance(update, VertexDeletion) and update.v in tree:
+            candidates = [
+                w
+                for w in list(tree.children(update.v)) + [tree.parent(update.v)]
+                if w is not None and graph.has_vertex(w) and w != VIRTUAL_ROOT
+            ]
+        if candidates:
+            return candidates[0]
+        vertices = iter(graph.vertices())
+        return next(vertices, VIRTUAL_ROOT)
+
+    # ------------------------------------------------------------------ #
+    def mutate(self, update: Update) -> None:
+        """Apply the update to the graph and patch the cached broadcast tree."""
+        self._update_words = update_words(update, self.graph)
+        if isinstance(update, EdgeInsertion):
+            self.graph.add_edge(update.u, update.v)
+        elif isinstance(update, EdgeDeletion):
+            self.graph.remove_edge(update.u, update.v)
+            if self.bfs_parent.get(update.u) == update.v or self.bfs_parent.get(update.v) == update.u:
+                self._cache_broken = True  # a broadcast-tree edge died
+        elif isinstance(update, VertexInsertion):
+            self.graph.add_vertex_with_edges(update.v, update.neighbors)
+            self._attach_to_cache(update.v, update.neighbors)
+        elif isinstance(update, VertexDeletion):
+            degree_children = any(p == update.v for p in self.bfs_parent.values())
+            self.graph.remove_vertex(update.v)
+            self.bfs_parent.pop(update.v, None)
+            self.bfs_depth.pop(update.v, None)
+            if degree_children:
+                self._cache_broken = True  # its broadcast children are orphaned
+        else:
+            raise UpdateError(f"unknown update type {update!r}")
+
+    def _attach_to_cache(self, v: Vertex, neighbors: Iterable[Vertex]) -> None:
+        """Hook a joining node into the cached broadcast tree (one local
+        message to its first cached neighbour; covered by the dissemination
+        broadcast's accounting)."""
+        for w in neighbors:
+            if w in self.bfs_parent:
+                self.bfs_parent[v] = w
+                self.bfs_depth[v] = self.bfs_depth[w] + 1
+                return
+        self.bfs_parent[v] = None  # isolated joiner: its own broadcast root
+        self.bfs_depth[v] = 0
+
+    def on_mutated(self, update: Update) -> None:
+        # Recovery stage: disseminate the update itself over the (fresh or
+        # cached) broadcast tree.
+        self.network.pipelined_broadcast(self.bfs_parent, self.bfs_depth, self._update_words)
+
+    def make_query_service(self, tree: DFSTree) -> QueryService:
+        return DistributedQueryService(
+            self.network, self.graph, tree, self.bfs_parent, self.bfs_depth, metrics=self.metrics
+        )
+
+    # ------------------------------------------------------------------ #
+    def begin_update(self, update: Update) -> None:
+        self._rebuilt_this_update = False
+        self._rounds_before = self.network.rounds
+        self._messages_before = self.network.messages
+
+    def on_commit(self, tree: DFSTree) -> None:
+        # Every node recomputes the forest summary locally; re-disseminating
+        # it (an O(n)-word broadcast so the next deletion can pick initiators
+        # locally) is paid on rebuild updates only — the amortized policy's
+        # second saving besides the BFS construction itself.
+        self.articulation, self.bridges = articulation_points_and_bridges(self.graph)
+        if self._rebuilt_this_update and self.graph.num_vertices > 1:
+            summary_words = max(len(self.articulation) + len(self.bridges), 1)
+            self.network.pipelined_broadcast(
+                self.bfs_parent,
+                self.bfs_depth,
+                min(summary_words, self.graph.num_vertices),
+            )
+
+    def end_update(self, update: Update) -> None:
+        self.metrics.observe_max("rounds_per_update", self.network.rounds - self._rounds_before)
+        self.metrics.observe_max("messages_per_update", self.network.messages - self._messages_before)
+
+
 class DistributedDynamicDFS:
-    """Maintain a DFS forest in the CONGEST(n/D) model."""
+    """Maintain a DFS forest in the CONGEST(n/D) model.
+
+    Parameters
+    ----------
+    rebuild_every:
+        ``1`` (default) — rebuild the broadcast tree and re-disseminate the
+        forest summary on every update.  ``k > 1`` / ``None`` — reuse the
+        cached broadcast state between rebuilds (``None``: rebuild only when a
+        mutation breaks the cached tree).  All policies maintain identical
+        trees.
+    """
 
     def __init__(
         self,
         graph: UndirectedGraph,
         *,
         bandwidth_words: Optional[int] = None,
+        rebuild_every: Optional[int] = 1,
         validate: bool = False,
         metrics: Optional[MetricsRecorder] = None,
     ) -> None:
         if graph.num_vertices == 0:
             raise ValueError("the distributed model needs at least one node")
+        UpdateEngine.validate_options("parallel", rebuild_every)  # fail fast
         self.metrics = metrics or MetricsRecorder("distributed_dfs")
-        self._validate = validate
         self._graph = graph.copy()
         root = next(iter(self._graph.vertices()))
         self.diameter, auto_bandwidth = recommended_bandwidth(self._graph, root)
@@ -109,22 +276,50 @@ class DistributedDynamicDFS:
         self.network = CongestNetwork(self._graph, self.bandwidth, metrics=self.metrics)
         with self.metrics.timer("initial_dfs"):
             parent = static_dfs_forest(self._graph)
-        self._tree = DFSTree(parent, root=VIRTUAL_ROOT)
-        self._refresh_forest_summary(initial=True)
+        tree = DFSTree(parent, root=VIRTUAL_ROOT)
+        self._backend = CongestBackend(self._graph, self.network, self.metrics)
+        # No initial rebuild: the BFS/broadcast tree is per-update recovery
+        # state, not preprocessing — the backend's cache starts broken, so the
+        # first update builds it (without charging rounds at construction).
+        self._engine = UpdateEngine(
+            self._backend,
+            tree,
+            rebuild_every=rebuild_every,
+            validate=validate,
+            metrics=self.metrics,
+            initial_rebuild=False,
+        )
+        self._backend.articulation, self._backend.bridges = articulation_points_and_bridges(
+            self._graph
+        )
 
     # ------------------------------------------------------------------ #
     @property
     def tree(self) -> DFSTree:
         """The DFS forest currently stored at every node."""
-        return self._tree
+        return self._engine.tree
 
     @property
     def graph(self) -> UndirectedGraph:
         return self._graph
 
+    @property
+    def rebuild_every(self) -> Optional[int]:
+        """The configured broadcast-state rebuild policy."""
+        return self._engine.rebuild_every
+
+    @property
+    def update_engine(self) -> UpdateEngine:
+        """The shared :class:`UpdateEngine` driving this adapter."""
+        return self._engine
+
     def is_valid(self) -> bool:
         """Validate the maintained forest."""
-        return not check_dfs_tree(self._graph, self._tree.parent_map())
+        return self._engine.is_valid()
+
+    def parent_map(self, **kwargs) -> Dict[Vertex, Optional[Vertex]]:
+        """Parent map of the maintained DFS forest."""
+        return self._engine.parent_map(**kwargs)
 
     def rounds(self) -> int:
         """Total CONGEST rounds so far."""
@@ -147,110 +342,22 @@ class DistributedDynamicDFS:
     def delete_vertex(self, v: Vertex) -> DFSTree:
         return self.apply(VertexDeletion(v))
 
-    def apply_all(self, updates: Sequence[Update]) -> DFSTree:
-        for upd in updates:
-            self.apply(upd)
-        return self._tree
-
     def apply(self, update: Update) -> DFSTree:
         """Apply one update (update stage) and repair the tree (recovery stage)."""
-        self.metrics.inc("updates")
-        rounds_before = self.network.rounds
-        messages_before = self.network.messages
+        return self._engine.apply(update)
 
-        update_words = self._mutate(update)
-        initiator = self._broadcast_initiator(update)
-
-        # Recovery stage: rebuild the BFS (broadcast) tree from the initiator,
-        # then disseminate the update itself.
-        if self._graph.num_vertices:
-            bfs_parent, bfs_depth = self.network.build_bfs_tree(initiator)
-            self.network.pipelined_broadcast(bfs_parent, bfs_depth, update_words)
-        else:
-            bfs_parent, bfs_depth = {initiator: None}, {initiator: 0}
-
-        service = DistributedQueryService(
-            self.network, self._graph, self._tree, bfs_parent, bfs_depth, metrics=self.metrics
-        )
-        reduction = reduce_update(update, self._tree, service, metrics=self.metrics)
-        new_parent = self._tree.parent_map()
-        for v in reduction.removed_vertices:
-            new_parent.pop(v, None)
-        new_parent.update(reduction.parent_overrides)
-        if reduction.tasks:
-            engine = ParallelRerootEngine(
-                self._tree,
-                service,
-                adjacency=self._graph.neighbor_list,
-                metrics=self.metrics,
-                validate=self._validate,
-            )
-            new_parent.update(engine.reroot_many(reduction.tasks))
-        self._tree = DFSTree(new_parent, root=VIRTUAL_ROOT)
-
-        # Re-disseminate the forest summary (articulation points / bridges),
-        # an O(n)-word broadcast, so the next deletion can be handled locally.
-        self._refresh_forest_summary(bfs=(bfs_parent, bfs_depth))
-
-        self.metrics.observe_max("rounds_per_update", self.network.rounds - rounds_before)
-        self.metrics.observe_max("messages_per_update", self.network.messages - messages_before)
-        if self._validate:
-            problems = check_dfs_tree(self._graph, self._tree.parent_map())
-            if problems:
-                raise NotADFSTree("; ".join(problems[:5]))
-        return self._tree
-
-    # ------------------------------------------------------------------ #
-    def _mutate(self, update: Update) -> int:
-        """Apply the update to the graph; return its description size in words."""
-        if isinstance(update, EdgeInsertion):
-            self._graph.add_edge(update.u, update.v)
-            return 2
-        if isinstance(update, EdgeDeletion):
-            self._graph.remove_edge(update.u, update.v)
-            return 2
-        if isinstance(update, VertexInsertion):
-            self._graph.add_vertex_with_edges(update.v, update.neighbors)
-            return 1 + len(update.neighbors)
-        if isinstance(update, VertexDeletion):
-            degree = self._graph.degree(update.v)
-            self._graph.remove_vertex(update.v)
-            return 1 + degree
-        raise UpdateError(f"unknown update type {update!r}")
-
-    def _broadcast_initiator(self, update: Update) -> Vertex:
-        """The unique node that initiates the recovery broadcast (Section 6.2)."""
-        candidates: List[Vertex]
-        if isinstance(update, (EdgeInsertion, EdgeDeletion)):
-            candidates = [v for v in (update.u, update.v) if self._graph.has_vertex(v)]
-        elif isinstance(update, VertexInsertion):
-            candidates = [update.v]
-        else:  # vertex deletion: a surviving neighbour in the old tree
-            old_neighbors = [
-                w
-                for w in list(self._tree.children(update.v)) + [self._tree.parent(update.v)]
-                if w is not None and self._graph.has_vertex(w) and w != VIRTUAL_ROOT
-            ]
-            candidates = old_neighbors or [v for v in self._graph.vertices()]
-        if not candidates:
-            candidates = list(self._graph.vertices()) or [VIRTUAL_ROOT]
-        return min(candidates, key=lambda x: str(x))
-
-    def _refresh_forest_summary(self, *, initial: bool = False, bfs=None) -> None:
-        self._articulation, self._bridges = articulation_points_and_bridges(self._graph)
-        if initial or bfs is None or self._graph.num_vertices <= 1:
-            return
-        bfs_parent, bfs_depth = bfs
-        summary_words = max(len(self._articulation) + len(self._bridges), 1)
-        self.network.pipelined_broadcast(bfs_parent, bfs_depth, min(summary_words, self._graph.num_vertices))
+    def apply_all(self, updates: Sequence[Update]) -> DFSTree:
+        """Apply a whole batch through the shared engine (batch metrics, one
+        end-of-batch validation)."""
+        return self._engine.apply_all(updates)
 
     # ------------------------------------------------------------------ #
     @property
     def articulation_points(self):
         """Articulation points of the current graph (stored at every node)."""
-        return set(self._articulation)
+        return set(self._backend.articulation)
 
     @property
     def bridges(self):
         """Bridges of the current graph (stored at every node)."""
-        return set(self._bridges)
+        return set(self._backend.bridges)

@@ -22,17 +22,26 @@ WELL_KNOWN_COUNTERS: Dict[str, str] = {
     "max_update_batch_size": "largest batch handed to apply_all()",
     "d_builds": "StructureD constructions (one per full rebuild of D)",
     "d_build_work": "total adjacency entries processed while building D",
-    "d_rebuilds": "rebuilds triggered by FullyDynamicDFS (initial build included)",
-    "overlay_served_updates": "updates served from Theorem 9 overlays instead of a rebuild",
+    "d_rebuilds": "D-state refreshes triggered by a driver (initial build included; absorbs count too)",
+    "d_absorbs": "StructureD.absorb_overlays() calls (incremental D maintenance)",
+    "d_absorb_work": "entries touched while absorbing overlays into the sorted lists",
+    "max_pinned_overlay_size": "largest pinned cross-edge side list left behind by absorbs",
+    "service_rebuilds": "query-service base-state rebuilds by UpdateEngine (initial build included)",
+    "overlay_served_updates": "updates served from the existing service state instead of a rebuild",
     "max_overlay_size": "largest overlay (masked + extra entries) observed between rebuilds",
     "d_vertex_queries": "per-source-vertex range searches answered by D",
     "d_probes": "adjacency entries touched by D's range searches",
     "d_target_segments": "base-tree segments the query targets decomposed into",
+    "d_reanchor_probes": "adjacency entries touched while re-anchoring canonical source endpoints",
     "d_overlay_view_queries": "queries answered while D's base tree differs from the current tree",
     "queries": "EdgeQuery objects answered by a query service",
     "query_batches": "independent query batches (one parallel round each)",
     "ft_queries": "fault-tolerant query() calls",
     "ft_updates": "updates replayed inside fault-tolerant queries",
+    "stream_passes": "end-to-end passes over the edge stream",
+    "max_passes_per_update": "worst stream passes one update needed",
+    "max_rounds_per_update": "worst CONGEST rounds one update needed",
+    "max_messages_per_update": "worst CONGEST messages one update needed",
 }
 
 

@@ -1,0 +1,164 @@
+"""Tests for the shared :class:`~repro.core.engine.UpdateEngine` pipeline and
+its rebuild-policy semantics across backends."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dynamic_dfs import FullyDynamicDFS
+from repro.core.engine import Backend, UpdateEngine, update_words
+from repro.core.updates import EdgeDeletion, EdgeInsertion, VertexDeletion, VertexInsertion
+from repro.distributed.distributed_dfs import DistributedDynamicDFS
+from repro.exceptions import UpdateError
+from repro.graph.generators import gnp_random_graph, path_graph
+from repro.metrics.counters import MetricsRecorder
+from repro.streaming.semi_streaming_dfs import SemiStreamingDynamicDFS
+from repro.workloads.updates import edge_churn, mixed_updates
+
+
+def test_rebuild_every_validation():
+    g = path_graph(6)
+    for bad in (0, -3, 2.5, "7"):
+        with pytest.raises(ValueError):
+            FullyDynamicDFS(g, rebuild_every=bad)
+        with pytest.raises(ValueError):
+            SemiStreamingDynamicDFS(g, rebuild_every=bad)
+        with pytest.raises(ValueError):
+            DistributedDynamicDFS(g, rebuild_every=bad)
+
+
+def test_engine_counts_service_rebuilds_per_policy():
+    g = gnp_random_graph(40, 0.1, seed=2, connected=True)
+    updates = edge_churn(g, 12, seed=5)
+    counts = {}
+    for k in (1, 4):
+        metrics = MetricsRecorder()
+        FullyDynamicDFS(g, rebuild_every=k, metrics=metrics).apply_all(updates)
+        counts[k] = metrics
+    # +1 for the initial build at construction.
+    assert counts[1]["service_rebuilds"] == len(updates) + 1
+    assert counts[1]["overlay_served_updates"] == 0
+    assert counts[4]["service_rebuilds"] == 1 + len(updates) // 4
+    assert counts[4]["overlay_served_updates"] == len(updates) - len(updates) // 4
+    # The D backend mirrors the engine counter for backward compatibility.
+    assert counts[4]["d_rebuilds"] == counts[4]["service_rebuilds"]
+
+
+def test_brute_backend_never_amortizes():
+    g = gnp_random_graph(30, 0.12, seed=3, connected=True)
+    updates = edge_churn(g, 8, seed=1)
+    metrics = MetricsRecorder()
+    # rebuild_every is a no-op for a backend without reusable state.
+    FullyDynamicDFS(g, service="brute", rebuild_every=50, metrics=metrics).apply_all(updates)
+    assert metrics["service_rebuilds"] == len(updates) + 1
+    assert metrics["overlay_served_updates"] == 0
+
+
+def test_validation_precedes_metrics_across_adapters():
+    g = path_graph(8)
+    for driver in (
+        FullyDynamicDFS(g),
+        SemiStreamingDynamicDFS(g),
+        DistributedDynamicDFS(g),
+    ):
+        before = driver.metrics.as_dict()
+        for bad in (EdgeInsertion(0, 0), EdgeDeletion(0, 5), VertexInsertion(3, ()), VertexDeletion("nope")):
+            with pytest.raises(UpdateError):
+                driver.apply(bad)
+        delta = driver.metrics.snapshot_delta(before)
+        assert all(v == 0 for v in delta.values()), f"failed updates skewed counters: {delta}"
+
+
+def test_update_words_accounting():
+    g = path_graph(5)
+    assert update_words(EdgeInsertion(0, 4), g) == 2
+    assert update_words(EdgeDeletion(0, 1), g) == 2
+    assert update_words(VertexInsertion(9, (0, 2, 4)), g) == 4
+    assert update_words(VertexDeletion(2), g) == 3  # 1 + degree on the pre-deletion graph
+
+
+def test_custom_backend_minimal_protocol():
+    """A minimal third-party backend only needs mutate/rebuild/make_query_service."""
+    from repro.constants import VIRTUAL_ROOT
+    from repro.core.overlay import apply_update
+    from repro.core.queries import BruteForceQueryService
+    from repro.graph.traversal import static_dfs_forest
+    from repro.tree.dfs_tree import DFSTree
+
+    g = gnp_random_graph(25, 0.15, seed=8, connected=True)
+
+    class MiniBackend(Backend):
+        name = "mini"
+
+        def __init__(self, graph):
+            self.graph = graph
+
+        def rebuild(self, tree, update):
+            pass
+
+        def mutate(self, update):
+            apply_update(self.graph, update)
+
+        def make_query_service(self, tree):
+            return BruteForceQueryService(self.graph, tree)
+
+    graph = g.copy()
+    tree = DFSTree(static_dfs_forest(graph), root=VIRTUAL_ROOT)
+    engine = UpdateEngine(MiniBackend(graph), tree, validate=True)
+    reference = FullyDynamicDFS(g, validate=True)
+    for upd in mixed_updates(g, 15, seed=4):
+        engine.apply(upd)
+        reference.apply(upd)
+        assert engine.parent_map() == reference.parent_map()
+    assert engine.is_valid()
+
+
+def test_absorb_mode_zero_full_builds_on_edge_churn():
+    """Acceptance: the amortized driver using absorb performs zero full
+    ``d_builds`` after initialization on an edge-churn workload."""
+    g = gnp_random_graph(60, 0.1, seed=6, connected=True)
+    updates = edge_churn(g, 80, seed=13)
+    metrics = MetricsRecorder()
+    dyn = FullyDynamicDFS(g, rebuild_every=8, d_maintenance="absorb", metrics=metrics)
+    dyn.apply_all(updates)
+    assert dyn.is_valid()
+    assert metrics["d_builds"] == 1  # the initial build only
+    assert metrics["d_absorbs"] == len(updates) // 8
+    assert metrics["d_absorb_work"] > 0
+    # The spike is gone: absorb work is far below one full rebuild's work.
+    assert metrics["d_absorb_work"] < metrics["d_build_work"]
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_absorb_mode_tree_identical_to_rebuild_mode(seed):
+    g = gnp_random_graph(45, 0.1, seed=seed, connected=True)
+    updates = mixed_updates(g, 30, seed=seed + 40)
+    rebuild = FullyDynamicDFS(g, rebuild_every=6, d_maintenance="rebuild", validate=True)
+    absorb = FullyDynamicDFS(g, rebuild_every=6, d_maintenance="absorb", validate=True)
+    for i, upd in enumerate(updates):
+        rebuild.apply(upd)
+        absorb.apply(upd)
+        assert rebuild.parent_map() == absorb.parent_map(), (seed, i, upd.describe())
+
+
+def test_invalid_d_maintenance_rejected():
+    with pytest.raises(ValueError):
+        FullyDynamicDFS(path_graph(4), d_maintenance="magic")
+    with pytest.raises(ValueError):
+        # absorb is a D-structure knob; the brute oracle has nothing to absorb.
+        FullyDynamicDFS(path_graph(4), service="brute", d_maintenance="absorb")
+
+
+def test_batch_metrics_consistent_across_adapters():
+    g = gnp_random_graph(30, 0.12, seed=1, connected=True)
+    updates = edge_churn(g, 6, seed=2)
+    for factory in (
+        lambda m: FullyDynamicDFS(g, metrics=m),
+        lambda m: SemiStreamingDynamicDFS(g, metrics=m),
+        lambda m: DistributedDynamicDFS(g, metrics=m),
+    ):
+        metrics = MetricsRecorder()
+        factory(metrics).apply_all(updates)
+        assert metrics["update_batches"] == 1
+        assert metrics["max_update_batch_size"] == len(updates)
+        assert metrics["updates"] == len(updates)

@@ -66,11 +66,18 @@ def test_engines_produce_valid_reroots_on_random_graphs():
 
 
 def test_parallel_engine_beats_sequential_chain_on_comb():
+    from repro.graph.generators import comb_graph
+
     teeth, tooth = 48, 6
-    g = comb_with_back_edges(teeth, tooth)
+    # Plain comb (no tip back edges): each hanging subtree's only edge to the
+    # carved path is its spine edge, so the sequential chain is forced to
+    # Θ(teeth) for *any* answer tie-break.  (With tip-to-spine-start back
+    # edges the canonical minimum-postorder source endpoint happens to pick
+    # the tips, letting the baseline shortcut the chain.)
+    g = comb_graph(teeth, tooth)
     tree = DFSTree(static_dfs_forest(g), root=VIRTUAL_ROOT)
     # Reroot the whole comb at the tip of the *first* tooth: every step of the
-    # sequential procedure exposes one more tooth, forcing a Θ(teeth) chain.
+    # sequential procedure exposes one more tooth.
     tip = teeth + tooth - 1
     task = RerootTask(subtree_root=0, new_root=tip, attach=VIRTUAL_ROOT)
 

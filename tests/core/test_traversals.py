@@ -8,6 +8,8 @@ checked directly.
 
 import random
 
+import pytest
+
 from repro.constants import VIRTUAL_ROOT
 from repro.core.queries import BruteForceQueryService
 from repro.core.reduction import RerootTask, reduce_update
@@ -169,3 +171,51 @@ def test_multiple_disjoint_tasks_processed_in_parallel_rounds():
     # All eight arms progress in the same rounds: the round count is that of a
     # single arm (logarithmic), not eight times it.
     assert metrics["traversal_rounds"] <= 12
+
+
+# --------------------------------------------------------------------------- #
+# Regression: the C1/C2 leftover-piece gap in the heavy traversal
+# --------------------------------------------------------------------------- #
+def test_heavy_traversal_yd_covers_pc_connected_pieces():
+    """Regression for the ROADMAP C1/C2 invariant gap.
+
+    The heavy traversal's (x_d, y_d) edge used to be computed from the hanging
+    trees only; with ``p_c`` (and the other component trees) left out, a
+    p-traversal could stop below an edge connecting ``p_c`` to the root path,
+    leaving the untraversed root-path remainder adjacent to ``p_c`` — two path
+    pieces merged into one component, tripping ``Process-Comp`` under
+    ``validate=True``.  The exact ROADMAP workload: gnp n=120, seed=4, where
+    ``delete vertex 62`` arrives after two vertex insertions.
+    """
+    from repro.core.dynamic_dfs import FullyDynamicDFS
+    from repro.workloads.updates import vertex_churn
+
+    graph = gnp_random_graph(120, 0.06, seed=4, connected=True)
+    updates = vertex_churn(graph, 60, seed=1)
+    assert updates[4].describe() == "delete vertex 62"  # after two insertions
+    dyn = FullyDynamicDFS(graph, validate=True)
+    for upd in updates:
+        dyn.apply(upd)  # validate=True raises on any C1/C2 violation
+    assert dyn.is_valid()
+
+
+@pytest.mark.parametrize(
+    "n, p, useed, kind",
+    [
+        (100, 0.08, 8, "mixed"),
+        (140, 0.06, 4, "mixed"),
+        (140, 0.06, 8, "vertex"),
+        (140, 0.08, 9, "vertex"),
+    ],
+)
+def test_heavy_traversal_invariant_on_reproduced_workloads(n, p, useed, kind):
+    """Further previously-tripping workloads found while root-causing the gap."""
+    from repro.core.dynamic_dfs import FullyDynamicDFS
+    from repro.workloads.updates import mixed_updates, vertex_churn
+
+    gen = mixed_updates if kind == "mixed" else vertex_churn
+    graph = gnp_random_graph(n, p, seed=4, connected=True)
+    dyn = FullyDynamicDFS(graph, validate=True)
+    for upd in gen(graph, 60, seed=useed):
+        dyn.apply(upd)
+    assert dyn.is_valid()

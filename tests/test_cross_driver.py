@@ -1,0 +1,106 @@
+"""Cross-driver equivalence: every environment, every rebuild policy, one tree.
+
+Because query answers are canonical (a pure function of the updated graph and
+the current tree — see :class:`repro.core.queries.DQueryService`), the fully
+dynamic, semi-streaming, distributed and fault-tolerant drivers all maintain
+*byte-identical* DFS trees, under both extremes of the ``rebuild_every``
+policy.  ``StaticRecomputeDFS`` supplies the ground-truth graph state the
+final tree is validated against (its own tree is a DFS forest of the same
+graph, but a static recomputation is free to pick different tree edges).
+
+The amortized policy claims of the UpdateEngine refactor are asserted here
+too: on a 100-update ``sustained_churn`` workload the streaming and
+distributed adapters perform at least 3x fewer service rebuilds — and
+measurably fewer stream passes / CONGEST rounds per update — than their
+classic per-update-rebuild configurations, with identical parent maps.
+"""
+
+import pytest
+
+from repro.baselines.static_recompute import StaticRecomputeDFS
+from repro.constants import is_virtual_root
+from repro.core.dynamic_dfs import FullyDynamicDFS
+from repro.core.fault_tolerant import FaultTolerantDFS
+from repro.distributed.distributed_dfs import DistributedDynamicDFS
+from repro.graph.validation import check_dfs_tree
+from repro.metrics.counters import MetricsRecorder
+from repro.streaming.semi_streaming_dfs import SemiStreamingDynamicDFS
+from repro.workloads.scenarios import build_scenario
+from repro.workloads.updates import mixed_updates
+
+AMORTIZED_K = 10
+
+
+def _drive(name, factory, updates):
+    metrics = MetricsRecorder(name)
+    driver = factory(metrics)
+    driver.apply_all(updates)
+    return driver, metrics
+
+
+def _all_driver_maps(graph, updates):
+    """Run *updates* through every driver/policy combination; returns
+    ``{label: (parent_map, metrics)}``."""
+    out = {}
+    combos = [
+        ("core_rebuild_every_1", lambda m: FullyDynamicDFS(graph, rebuild_every=1, metrics=m)),
+        ("core_amortized", lambda m: FullyDynamicDFS(graph, rebuild_every=AMORTIZED_K, metrics=m)),
+        ("core_absorb", lambda m: FullyDynamicDFS(graph, rebuild_every=AMORTIZED_K, d_maintenance="absorb", metrics=m)),
+        ("core_brute", lambda m: FullyDynamicDFS(graph, service="brute", metrics=m)),
+        ("stream_classic", lambda m: SemiStreamingDynamicDFS(graph, rebuild_every=1, metrics=m)),
+        ("stream_amortized", lambda m: SemiStreamingDynamicDFS(graph, rebuild_every=AMORTIZED_K, metrics=m)),
+        ("dist_classic", lambda m: DistributedDynamicDFS(graph, rebuild_every=1, metrics=m)),
+        ("dist_amortized", lambda m: DistributedDynamicDFS(graph, rebuild_every=AMORTIZED_K, metrics=m)),
+    ]
+    for label, factory in combos:
+        driver, metrics = _drive(label, factory, updates)
+        assert driver.is_valid(), label
+        out[label] = (driver.parent_map(), metrics)
+    # The fault-tolerant driver replays the whole batch from its preprocessed
+    # state — the rebuild_every=infinity extreme of the same pipeline.
+    ft = FaultTolerantDFS(graph)
+    tree, ft_graph = ft.query_with_graph(updates)
+    assert check_dfs_tree(ft_graph, tree.parent_map()) == []
+    out["fault_tolerant"] = (tree.parent_map(), ft.metrics)
+    return out
+
+
+def _assert_identical_and_valid(graph, updates, results):
+    reference_label, (reference, _) = next(iter(results.items()))
+    for label, (parent, _) in results.items():
+        assert parent == reference, f"{label} diverged from {reference_label}"
+    # Ground truth: the per-update static recomputation baseline tracks the
+    # same graph; the shared tree must be a valid DFS forest of it.
+    static = StaticRecomputeDFS(graph)
+    static.apply_all(updates)
+    assert static.is_valid()
+    assert set(static.graph.vertices()) == {v for v in reference if not is_virtual_root(v)}
+    assert check_dfs_tree(static.graph, reference) == []
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_all_drivers_identical_on_sustained_churn(seed):
+    scenario = build_scenario("sustained_churn", n=64, seed=seed, updates=100)
+    updates = scenario.updates[:100]
+    results = _all_driver_maps(scenario.graph, updates)
+    _assert_identical_and_valid(scenario.graph, updates, results)
+
+    # Amortization claims: >=3x fewer service rebuilds, fewer passes/rounds.
+    _, stream_classic = results["stream_classic"]
+    _, stream_amortized = results["stream_amortized"]
+    assert stream_classic["service_rebuilds"] >= 3 * stream_amortized["service_rebuilds"]
+    assert stream_amortized["stream_passes"] * 3 <= stream_classic["stream_passes"]
+
+    _, dist_classic = results["dist_classic"]
+    _, dist_amortized = results["dist_amortized"]
+    assert dist_classic["service_rebuilds"] >= 3 * dist_amortized["service_rebuilds"]
+    assert dist_amortized["congest_rounds"] < dist_classic["congest_rounds"]
+    assert dist_amortized["congest_messages"] < dist_classic["congest_messages"]
+
+
+@pytest.mark.parametrize("seed", [3, 4])
+def test_all_drivers_identical_on_mixed_updates(seed):
+    scenario = build_scenario("social_network_churn", n=48, seed=seed, updates=0)
+    updates = mixed_updates(scenario.graph, 40, seed=seed + 20)
+    results = _all_driver_maps(scenario.graph, updates)
+    _assert_identical_and_valid(scenario.graph, updates, results)
