@@ -1,0 +1,119 @@
+"""E8 — adaptive absorb-mode maintenance: segment-EWMA-triggered rebases.
+
+Claim: with ``d_maintenance="absorb"`` the base tree of ``D`` is frozen, so
+per-query target decompositions grow without bound as the maintained tree
+diverges; the auto-rebase policy (``rebase_segment_threshold``) bounds them by
+rebasing ``D`` on the current tree exactly when the per-update segment EWMA
+crosses the threshold.  The harness drives ``sustained_churn`` and asserts
+
+* at least one rebase fires and every rebase drops the divergence EWMA,
+* the mean target segments per query stays below the threshold (while the
+  never-rebase configuration's mean exceeds the auto policy's),
+* the maintained tree is byte-identical to the classic per-update-rebuild
+  driver throughout — the policy changes the cost, never the output.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import record_table, scale_sizes
+from repro.core.dynamic_dfs import FullyDynamicDFS
+from repro.metrics.counters import MetricsRecorder
+from repro.workloads.scenarios import build_scenario
+
+THRESHOLD = 3
+UPDATES = 100
+AMORTIZED_K = 10
+
+
+def _drive_stepwise(graph, updates, **kwargs):
+    """Apply updates one by one, tracking per-update segment means and the
+    EWMA on both sides of every rebase."""
+    metrics = MetricsRecorder("bench", strict=True)
+    dyn = FullyDynamicDFS(graph, metrics=metrics, **kwargs)
+    backend = dyn._backend
+    prev = metrics.as_dict()
+    ewma_drops = []  # (ewma before rebase update, ewma after it)
+    for update in updates:
+        ewma_before = backend.structure.avg_target_segments()
+        dyn.apply(update)
+        delta = metrics.snapshot_delta(prev)
+        prev = metrics.as_dict()
+        if delta.get("d_rebases", 0):
+            ewma_drops.append((ewma_before, backend.structure.avg_target_segments()))
+    total_queries = max(metrics["queries"], 1)
+    return dyn, metrics, metrics["d_target_segments"] / total_queries, ewma_drops
+
+
+@pytest.mark.benchmark(group="E8-adaptive-rebase")
+def test_auto_rebase_bounds_segments_per_query(benchmark):
+    sizes = scale_sizes([200], [96])
+    rebases, auto_means, norebase_means, pinned_triggers = [], [], [], []
+    for n in sizes:
+        scenario = build_scenario("sustained_churn", n=n, seed=2, updates=UPDATES)
+        updates = scenario.updates[:UPDATES]
+
+        classic = FullyDynamicDFS(scenario.graph, rebuild_every=1)
+        classic.apply_all(updates)
+
+        auto, auto_metrics, auto_mean, drops = _drive_stepwise(
+            scenario.graph,
+            updates,
+            rebuild_every=AMORTIZED_K,
+            d_maintenance="absorb",
+            rebase_segment_threshold=THRESHOLD,
+        )
+        norebase, norebase_metrics, norebase_mean, _ = _drive_stepwise(
+            scenario.graph,
+            updates,
+            rebuild_every=AMORTIZED_K,
+            d_maintenance="absorb",
+            rebase_segment_threshold=10**9,  # policy disabled
+        )
+
+        # Identical trees under every policy.
+        assert auto.parent_map() == classic.parent_map(), f"auto diverged (n={n})"
+        assert norebase.parent_map() == classic.parent_map(), f"norebase diverged (n={n})"
+
+        # The policy fires, and every rebase drops the divergence EWMA.  The
+        # baseline must actually be rebase-free (its huge segment threshold
+        # does not disable the pinned-side-list trigger).
+        assert norebase_metrics["d_rebases"] == 0, "baseline rebased via the pinned trigger"
+        assert auto_metrics["d_rebases"] >= 1, f"expected >=1 rebase (n={n})"
+        assert drops and all(after < before for before, after in drops), drops
+
+        # Mean segments per query stays below the threshold; without rebases
+        # the same workload pays more per query.
+        assert auto_mean < THRESHOLD, f"mean segments {auto_mean:.2f} >= threshold (n={n})"
+        assert auto_mean <= norebase_mean, (auto_mean, norebase_mean)
+
+        rebases.append(auto_metrics["d_rebases"])
+        auto_means.append(round(auto_mean, 2))
+        norebase_means.append(round(norebase_mean, 2))
+        pinned_triggers.append(auto_metrics["d_rebase_trigger_pinned"])
+
+    record_table(
+        benchmark,
+        "E8_auto_rebase",
+        sizes,
+        {
+            "rebases": rebases,
+            "auto_mean_segments_per_query": auto_means,
+            "norebase_mean_segments_per_query": norebase_means,
+            "pinned_triggered_rebases": pinned_triggers,
+        },
+    )
+
+    scenario = build_scenario("sustained_churn", n=sizes[0], seed=2, updates=UPDATES)
+
+    def run():
+        dyn = FullyDynamicDFS(
+            scenario.graph,
+            rebuild_every=AMORTIZED_K,
+            d_maintenance="absorb",
+            rebase_segment_threshold=THRESHOLD,
+        )
+        dyn.apply_all(scenario.updates[:20])
+
+    benchmark(run)

@@ -118,3 +118,72 @@ def test_distributed_classic_vs_amortized_policy(benchmark):
         dist.apply_all(scenario.updates[:20])
 
     benchmark(run)
+
+
+@pytest.mark.benchmark(group="E4-distributed")
+def test_distributed_local_repair_vs_rebuild_on_invalidation(benchmark):
+    """Broadcast-tree local repair: a dead tree edge reattaches the orphaned
+    subtree in O(depth-of-subtree) rounds instead of invalidating the cache
+    and paying a full O(D)-round BFS rebuild.  At the same rebuild cadence the
+    repairing backend must use fewer total rounds, repairs must dominate
+    fallbacks, and the maintained trees stay byte-identical."""
+    from repro.metrics.counters import MetricsRecorder
+    from repro.workloads.scenarios import build_scenario
+
+    K = 10
+    updates_count = 100
+    cases = [
+        ("sustained_churn", scale_sizes([200], [64])[0], 1),
+        ("datacenter_link_flaps", scale_sizes([144], [64])[0], 3),
+    ]
+    labels, repair_rounds_total, rebuild_rounds_total = [], [], []
+    repairs, fallbacks, forced_rebuilds_saved = [], [], []
+    for name, n, seed in cases:
+        scenario = build_scenario(name, n=n, seed=seed, updates=updates_count)
+        updates = scenario.updates[:updates_count]
+        results = {}
+        for repair in (False, True):
+            metrics = MetricsRecorder("dist", strict=True)
+            dist = DistributedDynamicDFS(
+                scenario.graph, rebuild_every=K, local_repair=repair, metrics=metrics
+            )
+            dist.apply_all(updates)
+            results[repair] = (dist.parent_map(), dist.rounds(), metrics)
+        assert results[False][0] == results[True][0], f"repair diverged ({name})"
+        _, rounds_rebuild, _ = results[False]
+        _, rounds_repair, m = results[True]
+        assert rounds_repair < rounds_rebuild, (name, rounds_repair, rounds_rebuild)
+        assert m["bfs_repairs"] >= 1
+        assert m["bfs_repairs"] > m["bfs_repair_fallbacks"], "repairs must dominate fallbacks"
+        # Repairs replace forced rebuilds: the repairing run rebuilds less.
+        assert m["service_rebuilds"] < results[False][2]["service_rebuilds"]
+        labels.append(f"{name}:n={n}")
+        repair_rounds_total.append(rounds_repair)
+        rebuild_rounds_total.append(rounds_rebuild)
+        repairs.append(m["bfs_repairs"])
+        fallbacks.append(m["bfs_repair_fallbacks"])
+        forced_rebuilds_saved.append(
+            results[False][2]["service_rebuilds"] - m["service_rebuilds"]
+        )
+
+    record_table(
+        benchmark,
+        "E4_local_repair_vs_rebuild",
+        list(range(len(labels))),
+        {
+            "total_rounds_with_repair": repair_rounds_total,
+            "total_rounds_rebuild_on_invalidation": rebuild_rounds_total,
+            "bfs_repairs": repairs,
+            "bfs_repair_fallbacks": fallbacks,
+            "forced_rebuilds_avoided": forced_rebuilds_saved,
+        },
+    )
+    print("cases:", ", ".join(labels))
+
+    scenario = build_scenario("sustained_churn", n=cases[0][1], seed=1, updates=updates_count)
+
+    def run():
+        dist = DistributedDynamicDFS(scenario.graph, rebuild_every=K, local_repair=True)
+        dist.apply_all(scenario.updates[:20])
+
+    benchmark(run)

@@ -52,6 +52,7 @@ the virtual root are the roots of the DFS forest.
 
 from __future__ import annotations
 
+from math import isqrt
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence
 
 from repro.constants import VIRTUAL_ROOT
@@ -97,33 +98,68 @@ class DStructureBackend(Backend):
         metrics: MetricsRecorder,
         *,
         d_maintenance: str = "rebuild",
+        rebase_segment_threshold: Optional[float] = None,
     ) -> None:
         if d_maintenance not in ("rebuild", "absorb"):
             raise ValueError(f"unknown d_maintenance {d_maintenance!r}")
+        if rebase_segment_threshold is not None and rebase_segment_threshold < 1:
+            raise ValueError(
+                f"rebase_segment_threshold must be >= 1 or None, got {rebase_segment_threshold!r}"
+            )
         self.graph = graph
         self.metrics = metrics
         self.structure: Optional[StructureD] = None
         self._d_maintenance = d_maintenance
+        self._rebase_segment_threshold = rebase_segment_threshold
+
+    def rebase_segment_threshold(self) -> float:
+        """Segment EWMA that triggers an absorb-mode rebase (auto ~sqrt(m))."""
+        if self._rebase_segment_threshold is not None:
+            return self._rebase_segment_threshold
+        return float(max(4, isqrt(max(self.graph.num_edges, 1))))
+
+    def rebase_trigger(self) -> Optional[str]:
+        """Which budget (if any) demands a full rebase of absorb-mode ``D``.
+
+        ``"segments"`` — the per-query segment EWMA crossed the threshold: the
+        frozen base tree has diverged so far from the current tree that query
+        decompositions have caught up with the rebuild cost it was avoiding.
+        ``"pinned"`` — the pinned cross-edge side lists outgrew the overlay
+        budget: their per-query scans cost more than a rebuild.  ``None`` —
+        keep absorbing.
+        """
+        if self._d_maintenance != "absorb" or self.structure is None:
+            return None
+        if self.structure.pinned_size() > self.overlay_budget():
+            return "pinned"
+        if self.structure.avg_target_segments() > self.rebase_segment_threshold():
+            return "segments"
+        return None
 
     def rebuild(self, tree: DFSTree, update: Optional[Update]) -> None:
         self.metrics.inc("d_rebuilds")
-        if (
-            self._d_maintenance == "absorb"
-            and self.structure is not None
-            and self.structure.pinned_size() <= self.overlay_budget()
-        ):
-            # Escape hatch: once the pinned cross-edge side lists outgrow the
-            # overlay budget, the per-query scans they cost have caught up
-            # with a rebuild — fall through to a full rebase on the current
-            # tree (which clears them) instead of absorbing again.
-            with self.metrics.timer("build_d"):
-                self.structure.absorb_overlays()
-            return
+        if self._d_maintenance == "absorb" and self.structure is not None:
+            trigger = self.rebase_trigger()
+            if trigger is None:
+                with self.metrics.timer("build_d"):
+                    self.structure.absorb_overlays()
+                return
+            # Adaptive rebase: replace the frozen base tree with the current
+            # one (a full rebuild), resetting the segment EWMA and clearing
+            # the pinned side lists.  Counted separately from routine
+            # d_rebuilds so benchmarks can assert the trigger bound.
+            self.metrics.inc("d_rebases")
+            self.metrics.inc(f"d_rebase_trigger_{trigger}")
         with self.metrics.timer("build_d"):
             self.structure = StructureD(self.graph, tree, metrics=self.metrics)
 
     def must_rebuild(self, update: Update) -> bool:
-        return reused_vertex_id_needs_rebuild(self.structure, update)
+        # A due rebase vetoes overlay service exactly like a re-used vertex
+        # id: the refresh happens now, not at the next policy cadence point.
+        return (
+            reused_vertex_id_needs_rebuild(self.structure, update)
+            or self.rebase_trigger() is not None
+        )
 
     def overlay_size(self) -> int:
         return self.structure.overlay_size()
@@ -139,6 +175,13 @@ class DStructureBackend(Backend):
 
     def make_query_service(self, tree: DFSTree) -> QueryService:
         return DQueryService(self.structure, source_tree=tree, metrics=self.metrics)
+
+    def end_update(self, update: Update) -> None:
+        # One divergence sample per update: this update's mean target
+        # segments per query (see StructureD.fold_segment_sample).
+        if self.structure is not None:
+            self.structure.fold_segment_sample()
+            self.metrics.set("avg_target_segments", self.structure.avg_target_segments())
 
 
 class BruteBackend(Backend):
@@ -186,7 +229,16 @@ class FullyDynamicDFS:
         ``"rebuild"`` (default) — each refresh constructs a fresh ``D`` on the
         current tree; ``"absorb"`` — each refresh folds the overlays into the
         existing sorted lists in place (``O(overlay · log deg)`` instead of
-        ``O(m)``; the base tree stays the initial tree).
+        ``O(m)``; the base tree stays fixed until the auto-rebase policy
+        replaces it).
+    rebase_segment_threshold:
+        Absorb mode only.  A full rebase of ``D`` (rebuild on the current
+        tree) is triggered once the EWMA of target segments per query crosses
+        this value, or the pinned cross-edge side lists outgrow the overlay
+        budget — bounding the per-query decomposition cost that otherwise
+        grows without bound as the frozen base tree diverges.  ``None``
+        (default) auto-tunes to ``~sqrt(m)``.  Counted under ``d_rebases`` /
+        ``d_rebase_trigger_segments`` / ``d_rebase_trigger_pinned``.
     validate:
         Check after every update that the maintained tree is a valid DFS forest
         and raise :class:`NotADFSTree` otherwise.  Also enables the strict
@@ -214,6 +266,7 @@ class FullyDynamicDFS:
         service: str = "d",
         rebuild_every: Optional[int] = None,
         d_maintenance: str = "rebuild",
+        rebase_segment_threshold: Optional[float] = None,
         validate: bool = False,
         metrics: Optional[MetricsRecorder] = None,
         copy_graph: bool = True,
@@ -225,6 +278,8 @@ class FullyDynamicDFS:
             raise ValueError(f"unknown service {service!r}")
         if service == "brute" and d_maintenance != "rebuild":
             raise ValueError('d_maintenance requires service="d"')
+        if rebase_segment_threshold is not None and d_maintenance != "absorb":
+            raise ValueError('rebase_segment_threshold requires d_maintenance="absorb"')
         self._graph = graph.copy() if copy_graph else graph
         self.metrics = metrics or MetricsRecorder("dynamic_dfs")
         with self.metrics.timer("initial_dfs"):
@@ -232,7 +287,10 @@ class FullyDynamicDFS:
         tree = DFSTree(parent, root=VIRTUAL_ROOT)
         if service == "d":
             backend: Backend = DStructureBackend(
-                self._graph, self.metrics, d_maintenance=d_maintenance
+                self._graph,
+                self.metrics,
+                d_maintenance=d_maintenance,
+                rebase_segment_threshold=rebase_segment_threshold,
             )
         else:
             backend = BruteBackend(self._graph, self.metrics)
@@ -272,6 +330,14 @@ class FullyDynamicDFS:
     def overlay_budget(self) -> int:
         """Overlay size that triggers a rebuild under the auto-tuned policy."""
         return int(self._backend.overlay_budget())
+
+    def rebase_segment_threshold(self) -> Optional[float]:
+        """Effective absorb-mode rebase threshold (None for rebuild maintenance
+        or the brute oracle, which have no frozen base tree to rebase)."""
+        backend = self._backend
+        if isinstance(backend, DStructureBackend) and backend._d_maintenance == "absorb":
+            return backend.rebase_segment_threshold()
+        return None
 
     def parent_map(self, *, include_virtual_root: bool = True) -> Dict[Vertex, Optional[Vertex]]:
         """Parent map of the maintained DFS forest.

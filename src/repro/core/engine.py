@@ -298,11 +298,20 @@ class UpdateEngine:
         backend = self.backend
         if not backend.supports_amortization:
             return False
-        if backend.must_rebuild(update):
-            return False
         if self._rebuild_every is not None:
-            return self._updates_since_rebuild + 1 < self._rebuild_every
-        return backend.overlay_size() < backend.overlay_budget()
+            allowed = self._updates_since_rebuild + 1 < self._rebuild_every
+        else:
+            allowed = backend.overlay_size() < backend.overlay_budget()
+        if not allowed:
+            return False
+        if backend.must_rebuild(update):
+            # Backend veto (re-used vertex id, due absorb-mode rebase): the
+            # refresh happens now rather than at the next cadence point.
+            # Counted only here — a veto coinciding with a cadence rebuild
+            # forced nothing extra.
+            self.metrics.inc("service_rebuilds_forced")
+            return False
+        return True
 
     def _do_rebuild(self, update: Optional[Update]) -> None:
         self.backend.rebuild(self._tree, update)

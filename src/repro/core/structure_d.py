@@ -29,6 +29,15 @@ from repro.tree.dfs_tree import DFSTree
 
 Vertex = Hashable
 
+#: Weight of the newest sample in the segment EWMA.  One sample = one update's
+#: mean target segments per query (see :meth:`StructureD.fold_segment_sample`);
+#: sampling per update rather than per query keeps the estimate from being
+#: dragged down by the cheap trailing queries every update ends with.  Large
+#: enough that a sustained plateau is reflected within a handful of updates,
+#: small enough that a single pathological update cannot trigger a rebase on
+#: its own.
+SEGMENT_EWMA_ALPHA = 0.25
+
 
 class StructureD:
     """Per-vertex adjacency lists sorted by post-order number of the base tree.
@@ -76,6 +85,12 @@ class StructureD:
         # parks them here and queries keep scanning them like overlays.
         self._cross_edges: Dict[Vertex, List[Vertex]] = {}
         self._next_virtual_post = tree.num_vertices  # inserted vertices go last
+        # EWMA of target segments per query: the divergence signal the
+        # absorb-mode auto-rebase policy watches.  A fresh structure (base
+        # tree == current tree) decomposes every target into one segment.
+        self._segment_ewma = 1.0
+        self._segments_since = 0
+        self._queries_since = 0
         self._build()
 
     # ------------------------------------------------------------------ #
@@ -235,6 +250,38 @@ class StructureD:
     def pinned_size(self) -> int:
         """Number of pinned cross entries left behind by :meth:`absorb_overlays`."""
         return sum(len(lst) for lst in self._cross_edges.values())
+
+    def note_query_segments(self, segments: int) -> None:
+        """Record one query's target-segment count for the divergence EWMA.
+
+        Called by :class:`~repro.core.queries.DQueryService` for every query it
+        decomposes.  Under absorb maintenance the base tree is frozen, so as
+        the current tree drifts away from it each target path shatters into
+        more and more base-tree segments; this per-query cost is the signal
+        the auto-rebase policy of
+        :class:`~repro.core.dynamic_dfs.DStructureBackend` thresholds on.
+        """
+        self._segments_since += segments
+        self._queries_since += 1
+
+    def fold_segment_sample(self) -> None:
+        """Fold the queries recorded since the last fold into the EWMA.
+
+        Drivers call this once per update (one sample = one update's mean
+        segments per query); updates that needed no queries contribute no
+        sample.  Folding per update keeps one expensive decomposition burst
+        from being averaged away by the cheap trailing queries of the same
+        update before the policy gets to look at it.
+        """
+        if self._queries_since:
+            sample = self._segments_since / self._queries_since
+            self._segment_ewma += SEGMENT_EWMA_ALPHA * (sample - self._segment_ewma)
+            self._segments_since = 0
+            self._queries_since = 0
+
+    def avg_target_segments(self) -> float:
+        """EWMA of mean target segments per query since this structure was built."""
+        return self._segment_ewma
 
     def _overlay_neighbors(self, u: Vertex):
         """All overlay-recorded neighbours of *u* (inserted + pinned)."""

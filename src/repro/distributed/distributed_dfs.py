@@ -48,7 +48,12 @@ from repro.core.updates import (
     VertexDeletion,
     VertexInsertion,
 )
-from repro.distributed.forest import articulation_points_and_bridges
+from repro.distributed.forest import (
+    articulation_points_and_bridges,
+    children_index,
+    parent_tree_subtree,
+    reroot_parent_tree,
+)
 from repro.distributed.network import CongestNetwork, recommended_bandwidth
 from repro.exceptions import UpdateError
 from repro.graph.graph import UndirectedGraph
@@ -101,14 +106,23 @@ class DistributedQueryService(QueryService):
 class CongestBackend(Backend):
     """CONGEST backend: owns the network simulator and the cached broadcast
     (BFS) tree.  The cache is maintained incrementally across overlay-served
-    updates and declared invalid when a mutation removes one of its edges."""
+    updates; when a mutation kills a broadcast-tree edge or node, the orphaned
+    subtree is *locally repaired* — reattached through a surviving incident
+    edge in ``O(depth-of-subtree)`` rounds — and only a subtree with no
+    surviving edge into the rest of the tree (or a dead broadcast root) forces
+    the conservative full ``O(D)``-round BFS rebuild."""
 
     name = "distributed_dfs"
     supports_amortization = True
     rebuild_stage = "post"  # the broadcast tree must span the updated graph
 
     def __init__(
-        self, graph: UndirectedGraph, network: CongestNetwork, metrics: MetricsRecorder
+        self,
+        graph: UndirectedGraph,
+        network: CongestNetwork,
+        metrics: MetricsRecorder,
+        *,
+        local_repair: bool = True,
     ) -> None:
         self.graph = graph
         self.network = network
@@ -116,6 +130,9 @@ class CongestBackend(Backend):
         self.bfs_parent: Dict[Vertex, Optional[Vertex]] = {}
         self.bfs_depth: Dict[Vertex, int] = {}
         self._cache_broken = True
+        self._local_repair = local_repair
+        self._pending_orphans: List[Vertex] = []
+        self._repair_depth_bound = 0
         self._rebuilt_this_update = False
         self._update_words = 0
         self._rounds_before = 0
@@ -144,9 +161,160 @@ class CongestBackend(Backend):
         else:  # pragma: no cover - the model needs at least one node
             self.bfs_parent, self.bfs_depth = {initiator: None}, {initiator: 0}
         self._cache_broken = False
+        self._pending_orphans.clear()
+        # Repairs may reattach subtrees below their BFS-optimal level, and
+        # *every* later pipelined broadcast/convergecast pays the tree's max
+        # depth per wave — so even a one-level permanent depth drift quickly
+        # outweighs the O(D) rebuilds the repairs avoid on query-heavy
+        # workloads.  The bound is therefore strict: a repair must not push
+        # the tree past its as-built depth at all; one that would falls back
+        # to a rebuild, which re-minimises the depths.
+        self._repair_depth_bound = max(self.bfs_depth.values(), default=0)
 
     def cache_invalid(self, update: Update) -> bool:
-        return self._cache_broken
+        """Post-mutation cache check — and the local-repair entry point.
+
+        Called by the engine only when the policy wants to *reuse* the cached
+        broadcast tree, i.e. exactly when repair work pays off.  Orphaned
+        subtrees recorded by :meth:`mutate` are reattached here, before the
+        update itself is disseminated over the (repaired) tree; a subtree with
+        no surviving edge into the live tree falls back to the full rebuild.
+        """
+        pending, self._pending_orphans = self._pending_orphans, []
+        if self._cache_broken:
+            return True
+        if not pending:
+            return False
+        if not self._local_repair:
+            self._cache_broken = True
+            return True
+        rounds_before = self.network.rounds
+        # Collect every orphaned subtree first: a node whose own root path is
+        # severed is not a valid reattachment target for a sibling subtree.
+        subtrees = []
+        still_orphaned: set = set()
+        shared_children = children_index(self.bfs_parent)
+        for root in pending:
+            sub, rel_depth = parent_tree_subtree(self.bfs_parent, root, children=shared_children)
+            subtrees.append((root, sub, rel_depth))
+            still_orphaned.update(sub)
+        repaired_depths: List[int] = []
+        repaired = True
+        for root, sub, rel_depth in subtrees:
+            still_orphaned.difference_update(sub)
+            if not self._repair_orphan(root, sub, rel_depth, still_orphaned):
+                repaired = False
+                break
+            repaired_depths.append(max(rel_depth.values()))
+        # The rounds were genuinely spent either way, but repairs only count
+        # when the whole batch succeeds: a fallback rebuild discards every
+        # sibling reattachment made earlier in the same update.
+        self.metrics.inc("bfs_repair_rounds", self.network.rounds - rounds_before)
+        if not repaired:
+            self.metrics.inc("bfs_repair_fallbacks")
+            self._cache_broken = True
+            return True
+        for depth in repaired_depths:
+            self.metrics.inc("bfs_repairs")
+            self.metrics.observe_max("bfs_repair_subtree_depth", depth)
+        return False
+
+    def _repair_orphan(
+        self,
+        root: Vertex,
+        sub: List[Vertex],
+        rel_depth: Dict[Vertex, int],
+        still_orphaned: set,
+    ) -> bool:
+        """Reattach the orphaned broadcast subtree *sub* (rooted at *root*).
+
+        Every subtree node scans its local adjacency for a surviving neighbour
+        whose own root path is intact (one local round), the candidates are
+        combined with a convergecast *inside the subtree* (``O(depth(sub))``
+        rounds, one word per edge), and the winner — the candidate whose
+        reattachment leaves the re-rooted subtree shallowest, ties broken by
+        subtree BFS order, then adjacency order, so the result is
+        deterministic — re-roots the subtree at itself and hangs it off the
+        surviving neighbour.  A final one-word
+        broadcast down the re-rooted subtree (``O(depth)`` rounds again)
+        distributes the decision and the corrected depths.  Returns False when
+        no subtree node has a surviving edge out — the subtree is truly
+        disconnected from the live tree and only a full rebuild can certify
+        the new component structure — or when every reattachment would push
+        the tree past the repair depth bound, at which point the rebuild the
+        repairs kept avoiding has become the cheaper option (pipelined rounds
+        scale with tree depth).
+        """
+        sub_set = set(sub)
+        # Tree adjacency inside the subtree (for per-candidate heights).
+        tree_adj: Dict[Vertex, List[Vertex]] = {v: [] for v in sub}
+        for v in sub:
+            if v == root:
+                continue
+            p = self.bfs_parent[v]
+            tree_adj[v].append(p)
+            tree_adj[p].append(v)
+
+        def height_from(u: Vertex) -> int:
+            """Height of the subtree once re-rooted at *u* (tree-edge BFS)."""
+            seen = {u}
+            frontier = [u]
+            h = 0
+            while frontier:
+                nxt = [y for x in frontier for y in tree_adj[x] if y not in seen]
+                seen.update(nxt)
+                if nxt:
+                    h += 1
+                frontier = nxt
+            return h
+
+        # Per node, the shallowest surviving neighbour; per candidate, the
+        # resulting bottom depth of the re-rooted subtree.  Minimising that
+        # bottom depth (rather than just the attach point's depth) is what
+        # keeps repeated repairs from ratcheting the global tree depth up.
+        best = None  # (resulting bottom depth, attach vertex, target vertex)
+        for u in sub:
+            target_depth = None
+            target = None
+            for w in self.graph.neighbors(u):
+                if w in sub_set or w in still_orphaned or w not in self.bfs_depth:
+                    continue
+                if target_depth is None or self.bfs_depth[w] < target_depth:
+                    target_depth, target = self.bfs_depth[w], w
+            if target is None:
+                continue
+            bottom = target_depth + 1 + height_from(u)
+            if best is None or bottom < best[0]:
+                best = (bottom, u, target)
+        # The candidate convergecast is paid whether or not anything was
+        # found: the subtree cannot know it is disconnected without looking.
+        old_parent = {v: (None if v == root else self.bfs_parent[v]) for v in sub}
+        self.network.pipelined_convergecast(old_parent, rel_depth, 1)
+        if best is None or best[0] > self._repair_depth_bound:
+            return False
+        _, attach, target = best
+        flipped = reroot_parent_tree(sub, self.bfs_parent, attach)
+        # Depth wave: every subtree node is exactly one deeper than its new
+        # parent, assigned top-down from the reattachment point.
+        new_children: Dict[Vertex, List[Vertex]] = {}
+        for v, p in flipped.items():
+            new_children.setdefault(p, []).append(v)
+        new_depth: Dict[Vertex, int] = {attach: self.bfs_depth[target] + 1}
+        frontier = [attach]
+        while frontier:
+            nxt: List[Vertex] = []
+            for v in frontier:
+                for c in new_children.get(v, ()):
+                    new_depth[c] = new_depth[v] + 1
+                    nxt.append(c)
+            frontier = nxt
+        self.bfs_parent[attach] = target
+        self.bfs_parent.update(flipped)
+        self.bfs_depth.update(new_depth)
+        new_rel = {v: new_depth[v] - new_depth[attach] for v in sub}
+        new_parent = {v: (None if v == attach else self.bfs_parent[v]) for v in sub}
+        self.network.pipelined_broadcast(new_parent, new_rel, 1)
+        return True
 
     def _pick_initiator(self, tree: DFSTree, update: Optional[Update]) -> Vertex:
         """The unique node that initiates the recovery broadcast (Section 6.2).
@@ -175,24 +343,37 @@ class CongestBackend(Backend):
 
     # ------------------------------------------------------------------ #
     def mutate(self, update: Update) -> None:
-        """Apply the update to the graph and patch the cached broadcast tree."""
+        """Apply the update to the graph and patch the cached broadcast tree.
+
+        A death of a broadcast-tree edge or node no longer breaks the cache
+        outright: the severed children are recorded as *pending orphans*, and
+        :meth:`cache_invalid` repairs them locally when the policy reuses the
+        cache.  Only the death of a broadcast root (no surviving tree above
+        its children) still forces the conservative full rebuild.
+        """
         self._update_words = update_words(update, self.graph)
         if isinstance(update, EdgeInsertion):
             self.graph.add_edge(update.u, update.v)
         elif isinstance(update, EdgeDeletion):
             self.graph.remove_edge(update.u, update.v)
-            if self.bfs_parent.get(update.u) == update.v or self.bfs_parent.get(update.v) == update.u:
-                self._cache_broken = True  # a broadcast-tree edge died
+            if self.bfs_parent.get(update.u) == update.v:
+                self._pending_orphans.append(update.u)  # a broadcast-tree edge died
+            elif self.bfs_parent.get(update.v) == update.u:
+                self._pending_orphans.append(update.v)
         elif isinstance(update, VertexInsertion):
             self.graph.add_vertex_with_edges(update.v, update.neighbors)
             self._attach_to_cache(update.v, update.neighbors)
         elif isinstance(update, VertexDeletion):
-            degree_children = any(p == update.v for p in self.bfs_parent.values())
+            children = [c for c, p in self.bfs_parent.items() if p == update.v]
+            was_root = update.v in self.bfs_parent and self.bfs_parent[update.v] is None
             self.graph.remove_vertex(update.v)
             self.bfs_parent.pop(update.v, None)
             self.bfs_depth.pop(update.v, None)
-            if degree_children:
-                self._cache_broken = True  # its broadcast children are orphaned
+            if children and was_root:
+                # No surviving tree above the orphans to reattach into.
+                self._cache_broken = True
+            else:
+                self._pending_orphans.extend(children)
         else:
             raise UpdateError(f"unknown update type {update!r}")
 
@@ -252,8 +433,16 @@ class DistributedDynamicDFS:
         ``1`` (default) — rebuild the broadcast tree and re-disseminate the
         forest summary on every update.  ``k > 1`` / ``None`` — reuse the
         cached broadcast state between rebuilds (``None``: rebuild only when a
-        mutation breaks the cached tree).  All policies maintain identical
-        trees.
+        mutation breaks the cached tree beyond repair).  All policies maintain
+        identical trees.
+    local_repair:
+        When True (default) a dead broadcast-tree edge/node reattaches the
+        orphaned subtree through a surviving incident edge in
+        ``O(depth-of-subtree)`` rounds (counted under ``bfs_repairs`` /
+        ``bfs_repair_rounds``); a full ``O(D)``-round BFS rebuild happens only
+        when the subtree is truly disconnected.  ``False`` restores the
+        conservative invalidate-on-any-death behaviour (every tree-edge death
+        rebuilds), which benchmarks use as the comparison baseline.
     """
 
     def __init__(
@@ -262,6 +451,7 @@ class DistributedDynamicDFS:
         *,
         bandwidth_words: Optional[int] = None,
         rebuild_every: Optional[int] = 1,
+        local_repair: bool = True,
         validate: bool = False,
         metrics: Optional[MetricsRecorder] = None,
     ) -> None:
@@ -277,7 +467,9 @@ class DistributedDynamicDFS:
         with self.metrics.timer("initial_dfs"):
             parent = static_dfs_forest(self._graph)
         tree = DFSTree(parent, root=VIRTUAL_ROOT)
-        self._backend = CongestBackend(self._graph, self.network, self.metrics)
+        self._backend = CongestBackend(
+            self._graph, self.network, self.metrics, local_repair=local_repair
+        )
         # No initial rebuild: the BFS/broadcast tree is per-update recovery
         # state, not preprocessing — the backend's cache starts broken, so the
         # first update builds it (without charging rounds at construction).

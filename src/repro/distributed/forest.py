@@ -10,11 +10,86 @@ accounts for.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Set, Tuple
+from typing import Dict, Hashable, List, Optional, Set, Tuple
 
 from repro.graph.graph import UndirectedGraph
 
 Vertex = Hashable
+
+
+def children_index(parent: Dict[Vertex, Optional[Vertex]]) -> Dict[Vertex, List[Vertex]]:
+    """Invert a parent-pointer map into a ``vertex -> children`` index."""
+    children: Dict[Vertex, List[Vertex]] = {}
+    for v, p in parent.items():
+        if p is not None:
+            children.setdefault(p, []).append(v)
+    return children
+
+
+def parent_tree_subtree(
+    parent: Dict[Vertex, Optional[Vertex]],
+    root: Vertex,
+    *,
+    children: Optional[Dict[Vertex, List[Vertex]]] = None,
+) -> Tuple[List[Vertex], Dict[Vertex, int]]:
+    """Vertices of the subtree of *root* in a parent-pointer tree, in BFS
+    order, together with their depths *relative to root*.
+
+    Used by the broadcast-tree local repair: when a tree edge dies, the
+    orphaned subtree is exactly the parent-pointer subtree of the severed
+    child, and the relative depths bound the rounds the intra-subtree
+    convergecast/broadcast of the repair costs.  *root*'s own (dangling)
+    parent pointer is ignored.  Callers extracting several subtrees of the
+    same tree pass a shared :func:`children_index` to avoid re-inverting the
+    whole parent map per subtree.
+    """
+    if children is None:
+        children = children_index(parent)
+    order: List[Vertex] = [root]
+    rel_depth: Dict[Vertex, int] = {root: 0}
+    i = 0
+    while i < len(order):
+        v = order[i]
+        i += 1
+        for c in children.get(v, ()):
+            if c not in rel_depth:
+                rel_depth[c] = rel_depth[v] + 1
+                order.append(c)
+    return order, rel_depth
+
+
+def reroot_parent_tree(
+    subtree: List[Vertex],
+    parent: Dict[Vertex, Optional[Vertex]],
+    new_root: Vertex,
+) -> Dict[Vertex, Vertex]:
+    """Re-root the parent-pointer tree spanning *subtree* at *new_root*.
+
+    Returns the new parent assignment for every vertex of *subtree* except
+    *new_root* (whose parent the caller sets to the reattachment target).
+    Only the pointers on the old-root-to-*new_root* path actually flip; the
+    caller still owns depth bookkeeping.
+    """
+    adjacency: Dict[Vertex, List[Vertex]] = {v: [] for v in subtree}
+    members = adjacency.keys()
+    for v in subtree:
+        p = parent.get(v)
+        if p is not None and p in members:
+            adjacency[v].append(p)
+            adjacency[p].append(v)
+    new_parent: Dict[Vertex, Vertex] = {}
+    frontier = [new_root]
+    seen = {new_root}
+    while frontier:
+        nxt: List[Vertex] = []
+        for v in frontier:
+            for w in adjacency[v]:
+                if w not in seen:
+                    seen.add(w)
+                    new_parent[w] = v
+                    nxt.append(w)
+        frontier = nxt
+    return new_parent
 
 
 def articulation_points_and_bridges(graph: UndirectedGraph) -> Tuple[Set[Vertex], Set[frozenset]]:

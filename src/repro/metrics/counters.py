@@ -14,34 +14,111 @@ from contextlib import contextmanager
 from typing import Dict, Iterator, Optional
 
 #: Well-known counter names and what they measure.  The recorder itself is
-#: schema-free; this registry documents the names the engines agree on so
-#: benchmarks and dashboards do not have to reverse-engineer call sites.
+#: schema-free by default; this registry documents the names the engines agree
+#: on so benchmarks and dashboards do not have to reverse-engineer call sites.
+#: It is *complete*: a recorder constructed with ``strict=True`` rejects any
+#: key missing from the registry, and the cross-driver differential harness
+#: drives every driver through strict recorders — so adding a counter without
+#: registering it here fails the tier-1 suite (drift is impossible, not just
+#: discouraged).  Maxima may be registered under either their raw name or the
+#: ``max_``-prefixed name :meth:`MetricsRecorder.as_dict` reports them under;
+#: timers are registered under their full ``time_<name>`` key.
 WELL_KNOWN_COUNTERS: Dict[str, str] = {
+    # Update pipeline (UpdateEngine)
     "updates": "updates accepted by a dynamic driver (failed updates are not counted)",
     "update_batches": "apply_all() batches served by the amortized engine",
     "max_update_batch_size": "largest batch handed to apply_all()",
+    "service_rebuilds": "query-service base-state rebuilds by UpdateEngine (initial build included)",
+    "service_rebuilds_forced": "rebuilds forced by a backend veto (re-used vertex id, due rebase) rather than the policy cadence",
+    "overlay_served_updates": "updates served from the existing service state instead of a rebuild",
+    "max_overlay_size": "largest overlay (masked + extra entries) observed between rebuilds",
+    # Data structure D (Theorems 8-9) and its maintenance policies
     "d_builds": "StructureD constructions (one per full rebuild of D)",
     "d_build_work": "total adjacency entries processed while building D",
     "d_rebuilds": "D-state refreshes triggered by a driver (initial build included; absorbs count too)",
     "d_absorbs": "StructureD.absorb_overlays() calls (incremental D maintenance)",
     "d_absorb_work": "entries touched while absorbing overlays into the sorted lists",
     "max_pinned_overlay_size": "largest pinned cross-edge side list left behind by absorbs",
-    "service_rebuilds": "query-service base-state rebuilds by UpdateEngine (initial build included)",
-    "overlay_served_updates": "updates served from the existing service state instead of a rebuild",
-    "max_overlay_size": "largest overlay (masked + extra entries) observed between rebuilds",
+    "d_rebases": "full rebases of absorb-mode D (base tree replaced by the current tree)",
+    "d_rebase_trigger_segments": "rebases triggered by the per-query segment EWMA crossing its threshold",
+    "d_rebase_trigger_pinned": "rebases triggered by the pinned side lists outgrowing the overlay budget",
+    "avg_target_segments": "EWMA of target segments per query against absorb-mode D (gauge)",
     "d_vertex_queries": "per-source-vertex range searches answered by D",
     "d_probes": "adjacency entries touched by D's range searches",
     "d_target_segments": "base-tree segments the query targets decomposed into",
+    "max_d_target_segments_per_query": "largest segment decomposition one query needed",
     "d_reanchor_probes": "adjacency entries touched while re-anchoring canonical source endpoints",
     "d_overlay_view_queries": "queries answered while D's base tree differs from the current tree",
+    # Query services
     "queries": "EdgeQuery objects answered by a query service",
     "query_batches": "independent query batches (one parallel round each)",
+    "query_rounds": "parallel query rounds spent by the reroot engine",
+    "max_queries_per_round": "largest independent query batch in one round",
+    # Reduction (Theorem 11)
+    "reductions": "reduce_update() calls",
+    "reduction_tasks": "independent rerooting tasks produced by reductions",
+    "vertices_added": "vertices attached to T* by the reroot engines",
+    "max_active_components": "most unvisited components the parallel engine held at once",
+    "process_comp_calls": "process-component invocations of the parallel engine",
+    "loop_guard_triggers": "parallel-engine safety-guard activations (diagnostic)",
+    "fallback_components": "components the engine re-attached with a fallback DFS",
+    "fallback_vertices": "vertices attached through the fallback DFS",
+    "fallback_unreached": "vertices a fallback DFS found unreachable (diagnostic)",
+    # Parallel traversal scenarios (Theorem 12)
+    "traversal_rounds": "path-halving traversal rounds of the parallel engine",
+    "traversal_path_halving": "path-halving steps taken by the parallel engine",
+    "traversal_path_full_walk": "traversals that walked a full path without halving",
+    "traversal_heavy": "heavy-subtree traversals (the C1/C2 machinery)",
+    "traversal_disconnecting": "traversals entering the disconnecting case",
+    "traversal_disintegrating": "traversals entering the disintegrating case",
+    "heavy_scenario_l": "heavy traversals resolved through scenario L",
+    "heavy_special_case": "heavy traversals resolved through the special case",
+    "heavy_p_committed": "heavy traversals that committed the p-walk",
+    "heavy_r_committed": "heavy traversals that committed the r-walk",
+    "heavy_special_committed": "heavy traversals that committed the special-case walk",
+    "ablation_heavy_disabled": "heavy traversals skipped because the ablation flag disabled them",
+    "invariant_merged_paths": "C1/C2 invariant repair: merged paths detected",
+    "invariant_rc_not_found": "C1/C2 invariant repair: r_c not found on the path",
+    "invariant_unattached_component": "C1/C2 invariant repair: unattached component detected",
+    "invariant_tree_without_path_edge": "C1/C2 invariant repair: tree lacking the path edge",
+    "invariant_unwalkable_pstar": "C1/C2 invariant repair: unwalkable p* detected",
+    "invariant_heavy_missing_xp": "C1/C2 invariant repair: heavy traversal missing x_p",
+    # Sequential baseline engines
+    "sequential_reroot_steps": "edges walked by the sequential reroot engine",
+    "max_sequential_chain_depth": "deepest reroot chain the sequential engine followed",
+    "naive_reroots": "whole-component recomputations by the naive baseline",
+    "naive_reroot_vertices": "vertices rebuilt by the naive baseline",
+    "full_recomputations": "from-scratch recomputations by the static baseline",
+    "static_work": "adjacency entries scanned by the static baseline",
+    # Fault tolerance (Theorem 9)
     "ft_queries": "fault-tolerant query() calls",
     "ft_updates": "updates replayed inside fault-tolerant queries",
+    "max_ft_batch_size": "largest update batch one fault-tolerant query replayed",
+    # Semi-streaming (Theorem 15)
     "stream_passes": "end-to-end passes over the edge stream",
     "max_passes_per_update": "worst stream passes one update needed",
+    "max_stream_state_entries": "largest per-pass working state (vertices) one query batch needed",
+    # Distributed CONGEST (Theorem 16)
+    "congest_rounds": "synchronous CONGEST rounds simulated",
+    "congest_messages": "CONGEST messages sent (one per edge per round)",
+    "max_congest_max_message_words": "largest CONGEST message observed (words)",
     "max_rounds_per_update": "worst CONGEST rounds one update needed",
     "max_messages_per_update": "worst CONGEST messages one update needed",
+    "bfs_repairs": "broadcast-tree local repairs (orphaned subtree reattached in O(depth) rounds)",
+    "bfs_repair_rounds": "CONGEST rounds spent inside local broadcast-tree repairs",
+    "bfs_repair_fallbacks": "local repairs abandoned for a full rebuild (orphaned subtree disconnected, or every reattachment would exceed the as-built depth bound)",
+    "max_bfs_repair_subtree_depth": "deepest orphaned subtree a local repair reattached",
+    # PRAM simulation
+    "pram_depth": "simulated PRAM depth (parallel time)",
+    "pram_work": "simulated PRAM work (total operations)",
+    "max_pram_processors": "largest simulated PRAM processor count",
+    # Timers (wall-clock seconds; informational, never asserted on)
+    "time_initial_dfs": "initial static DFS at construction",
+    "time_preprocess": "fault-tolerant preprocessing",
+    "time_build_d": "StructureD builds / absorbs",
+    "time_update": "end-to-end single-update processing",
+    "time_batch_update": "end-to-end apply_all() batches",
+    "time_rebuild_tree": "DFSTree snapshot construction after updates",
 }
 
 
@@ -56,28 +133,50 @@ class MetricsRecorder:
     * :meth:`timer` accumulates wall-clock seconds under ``time_<name>`` keys.
 
     The recorder is deliberately permissive: reading an unknown counter returns
-    0 so call sites do not need existence checks.
+    0 so call sites do not need existence checks.  Constructed with
+    ``strict=True`` it rejects *recording* under any key absent from
+    :data:`WELL_KNOWN_COUNTERS` (maxima match either their raw or ``max_``
+    name), which is how the test suite makes registry drift impossible.
     """
 
-    def __init__(self, name: str = "metrics") -> None:
+    def __init__(self, name: str = "metrics", *, strict: bool = False) -> None:
         self.name = name
+        self.strict = strict
         self._counters: Dict[str, float] = {}
         self._maxima: Dict[str, float] = {}
+
+    def _check_registered(self, key: str, *, allow_max_alias: bool = False) -> None:
+        if not self.strict or key in WELL_KNOWN_COUNTERS:
+            return
+        # Only maxima may match through their reported max_<name> alias; an
+        # inc()/set() under such a raw name would still produce an
+        # unregistered key in as_dict(), which is exactly the drift strict
+        # mode exists to forbid.
+        if allow_max_alias and f"max_{key}" in WELL_KNOWN_COUNTERS:
+            return
+        raise KeyError(
+            f"counter {key!r} is not registered in WELL_KNOWN_COUNTERS; "
+            "add it to repro.metrics.counters so benchmarks and dashboards "
+            "can rely on the registry being complete"
+        )
 
     # ------------------------------------------------------------------ #
     # Recording
     # ------------------------------------------------------------------ #
     def inc(self, key: str, amount: float = 1) -> None:
         """Add *amount* to counter *key*."""
+        self._check_registered(key)
         self._counters[key] = self._counters.get(key, 0) + amount
 
     def observe_max(self, key: str, value: float) -> None:
         """Record *value* under *key*, keeping the maximum seen so far."""
+        self._check_registered(key, allow_max_alias=True)
         if value > self._maxima.get(key, float("-inf")):
             self._maxima[key] = value
 
     def set(self, key: str, value: float) -> None:
         """Overwrite counter *key* with *value*."""
+        self._check_registered(key)
         self._counters[key] = value
 
     @contextmanager

@@ -1,14 +1,35 @@
-"""Shared fixtures for the test suite (helpers live in ``tests.helpers``)."""
+"""Shared fixtures for the test suite (helpers live in ``tests.helpers``).
+
+Also registers the hypothesis profiles the suite runs under:
+
+* ``dev`` (default) — no deadline (CI machines are noisy), random seeds, so
+  local runs keep exploring new examples;
+* ``ci`` — additionally *derandomized* (a fixed seed derived from each test),
+  so the pinned-seed CI step is reproducible run-to-run and a red build can be
+  replayed locally with ``HYPOTHESIS_PROFILE=ci``.
+
+Select with the ``HYPOTHESIS_PROFILE`` environment variable.
+"""
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.graph.generators import gnp_random_graph
 from repro.graph.graph import UndirectedGraph
 from tests.helpers import small_graph_family
+
+_COMMON = dict(
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+settings.register_profile("dev", **_COMMON)
+settings.register_profile("ci", derandomize=True, **_COMMON)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture

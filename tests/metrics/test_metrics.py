@@ -12,7 +12,7 @@ from repro.metrics.complexity import (
     geometric_sizes,
     summarize_scaling,
 )
-from repro.metrics.counters import MetricsRecorder
+from repro.metrics.counters import WELL_KNOWN_COUNTERS, MetricsRecorder
 
 
 def test_counters_and_maxima():
@@ -44,6 +44,80 @@ def test_timer_and_merge_and_delta():
     m.inc("a", 3)
     delta = m.snapshot_delta(before)
     assert delta["a"] == 3
+
+
+def test_strict_recorder_rejects_unregistered_counters():
+    """A counter a driver increments without a WELL_KNOWN_COUNTERS entry must
+    fail loudly: the cross-driver harness runs every driver on strict
+    recorders, so this is what makes registry drift impossible."""
+    m = MetricsRecorder("strict", strict=True)
+    with pytest.raises(KeyError, match="not registered"):
+        m.inc("made_up_counter")
+    with pytest.raises(KeyError, match="not registered"):
+        m.observe_max("made_up_gauge", 3)
+    with pytest.raises(KeyError, match="not registered"):
+        m.set("made_up_value", 1)
+    with pytest.raises(KeyError, match="not registered"):
+        with m.timer("made_up_phase"):
+            pass
+    # The max_<name> alias is honoured only for maxima: an inc()/set() under
+    # the raw name would still emit an unregistered key from as_dict().
+    with pytest.raises(KeyError, match="not registered"):
+        m.inc("overlay_size")
+    with pytest.raises(KeyError, match="not registered"):
+        m.set("update_batch_size", 3)
+    assert m.as_dict() == {}, "rejected keys must not be recorded"
+
+
+def test_strict_recorder_accepts_registered_counters_and_max_aliases():
+    m = MetricsRecorder("strict", strict=True)
+    m.inc("updates")
+    # Maxima are recorded under the raw name but registered under max_<name>.
+    m.observe_max("overlay_size", 5)
+    m.observe_max("congest_max_message_words", 2)  # alias: max_congest_max_message_words
+    m.set("avg_target_segments", 1.5)
+    with m.timer("build_d"):
+        pass
+    d = m.as_dict()
+    assert d["updates"] == 1 and d["max_overlay_size"] == 5
+
+
+def test_registry_entries_are_documented():
+    for key, description in WELL_KNOWN_COUNTERS.items():
+        assert isinstance(key, str) and key
+        assert isinstance(description, str) and description.strip(), key
+
+
+def test_every_driver_records_only_registered_counters():
+    """Drive all four drivers (plus baselines' heavy paths via validate=True)
+    through strict recorders; any unregistered counter raises."""
+    from repro.core.dynamic_dfs import FullyDynamicDFS
+    from repro.core.fault_tolerant import FaultTolerantDFS
+    from repro.distributed.distributed_dfs import DistributedDynamicDFS
+    from repro.graph.generators import gnp_random_graph
+    from repro.streaming.semi_streaming_dfs import SemiStreamingDynamicDFS
+    from repro.workloads.updates import mixed_updates
+
+    graph = gnp_random_graph(24, 0.15, seed=3, connected=True)
+    updates = mixed_updates(graph, 8, seed=5)
+    FullyDynamicDFS(
+        graph,
+        rebuild_every=3,
+        d_maintenance="absorb",
+        rebase_segment_threshold=2,
+        validate=True,
+        metrics=MetricsRecorder("core", strict=True),
+    ).apply_all(updates)
+    FullyDynamicDFS(
+        graph, service="brute", metrics=MetricsRecorder("brute", strict=True)
+    ).apply_all(updates)
+    SemiStreamingDynamicDFS(
+        graph, rebuild_every=3, metrics=MetricsRecorder("stream", strict=True)
+    ).apply_all(updates)
+    DistributedDynamicDFS(
+        graph, rebuild_every=3, metrics=MetricsRecorder("dist", strict=True)
+    ).apply_all(updates)
+    FaultTolerantDFS(graph, metrics=MetricsRecorder("ft", strict=True)).query(updates[:4])
 
 
 def test_power_law_and_polylog_fits():

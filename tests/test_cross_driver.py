@@ -13,15 +13,29 @@ too: on a 100-update ``sustained_churn`` workload the streaming and
 distributed adapters perform at least 3x fewer service rebuilds — and
 measurably fewer stream passes / CONGEST rounds per update — than their
 classic per-update-rebuild configurations, with identical parent maps.
+
+On top of the fixed workloads, a *randomized differential harness*
+(hypothesis) generates (graph, mixed update sequence) cases from
+shrinking-friendly integer encodings and asserts byte-identical parent maps
+across all four drivers x {classic, rebuild_every=k, absorb(+auto-rebase),
+local-repair} *after every single update* — exercising the policy-triggered
+rebase and broadcast-tree repair paths against the per-update-rebuild oracle.
+Every driver runs on a ``strict`` metrics recorder, so a counter missing from
+``WELL_KNOWN_COUNTERS`` fails the harness (registry drift is impossible).
 """
 
 import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
 
 from repro.baselines.static_recompute import StaticRecomputeDFS
 from repro.constants import is_virtual_root
 from repro.core.dynamic_dfs import FullyDynamicDFS
 from repro.core.fault_tolerant import FaultTolerantDFS
+from repro.core.overlay import apply_update
+from repro.core.updates import EdgeDeletion, EdgeInsertion, VertexDeletion, VertexInsertion
 from repro.distributed.distributed_dfs import DistributedDynamicDFS
+from repro.graph.generators import gnm_random_graph
 from repro.graph.validation import check_dfs_tree
 from repro.metrics.counters import MetricsRecorder
 from repro.streaming.semi_streaming_dfs import SemiStreamingDynamicDFS
@@ -32,7 +46,9 @@ AMORTIZED_K = 10
 
 
 def _drive(name, factory, updates):
-    metrics = MetricsRecorder(name)
+    # Strict recorders: any counter a driver increments without registering it
+    # in WELL_KNOWN_COUNTERS fails the suite here.
+    metrics = MetricsRecorder(name, strict=True)
     driver = factory(metrics)
     driver.apply_all(updates)
     return driver, metrics
@@ -104,3 +120,126 @@ def test_all_drivers_identical_on_mixed_updates(seed):
     updates = mixed_updates(scenario.graph, 40, seed=seed + 20)
     results = _all_driver_maps(scenario.graph, updates)
     _assert_identical_and_valid(scenario.graph, updates, results)
+
+
+# --------------------------------------------------------------------------- #
+# Randomized differential harness
+# --------------------------------------------------------------------------- #
+# Small thresholds/periods so short random sequences still cross the
+# policy-trigger paths (absorb rebases, broadcast-tree repairs).
+DIFFERENTIAL_K = 3
+DIFFERENTIAL_REBASE_THRESHOLD = 2
+
+#: label -> driver factory.  One entry per driver x policy combination the
+#: harness must keep byte-identical; `metrics` is a strict recorder.
+DIFFERENTIAL_COMBOS = [
+    ("core_classic", lambda g, m: FullyDynamicDFS(g, rebuild_every=1, metrics=m)),
+    ("core_amortized", lambda g, m: FullyDynamicDFS(g, rebuild_every=DIFFERENTIAL_K, metrics=m)),
+    (
+        "core_absorb_auto_rebase",
+        lambda g, m: FullyDynamicDFS(
+            g,
+            rebuild_every=DIFFERENTIAL_K,
+            d_maintenance="absorb",
+            rebase_segment_threshold=DIFFERENTIAL_REBASE_THRESHOLD,
+            metrics=m,
+        ),
+    ),
+    ("core_brute", lambda g, m: FullyDynamicDFS(g, service="brute", metrics=m)),
+    ("stream_classic", lambda g, m: SemiStreamingDynamicDFS(g, rebuild_every=1, metrics=m)),
+    ("stream_amortized", lambda g, m: SemiStreamingDynamicDFS(g, rebuild_every=DIFFERENTIAL_K, metrics=m)),
+    ("dist_classic", lambda g, m: DistributedDynamicDFS(g, rebuild_every=1, metrics=m)),
+    (
+        "dist_amortized_repair",
+        lambda g, m: DistributedDynamicDFS(g, rebuild_every=DIFFERENTIAL_K, local_repair=True, metrics=m),
+    ),
+]
+
+
+def _decode_ops(graph, ops):
+    """Decode shrinking-friendly integer triples into a valid update sequence.
+
+    Each op is ``(kind, a, b)`` interpreted against an evolving scratch copy of
+    *graph*, so the produced sequence is always replayable verbatim: an edge op
+    toggles the edge between the ``a``-th and ``b``-th live vertex, a vertex
+    deletion removes the ``a``-th live vertex, and a vertex insertion attaches
+    a fresh vertex to the neighbour subset encoded by ``b``'s bits.  Undecodable
+    ops (self loops, too-small graphs) are skipped rather than failing, so
+    hypothesis can shrink the integers freely.
+    """
+    scratch = graph.copy()
+    next_vertex = 10**9
+    updates = []
+    for kind, a, b in ops:
+        verts = sorted(scratch.vertices())
+        kind %= 4
+        if kind in (0, 3):  # edge toggle (twice the weight: churn dominates)
+            if len(verts) < 2:
+                continue
+            u = verts[a % len(verts)]
+            v = verts[b % len(verts)]
+            if u == v:
+                v = verts[(b + 1) % len(verts)]
+                if u == v:
+                    continue
+            update = EdgeDeletion(u, v) if scratch.has_edge(u, v) else EdgeInsertion(u, v)
+        elif kind == 1:  # vertex deletion
+            if len(verts) <= 3:
+                continue
+            update = VertexDeletion(verts[a % len(verts)])
+        else:  # vertex insertion with a bitmask-chosen neighbourhood
+            neighbors = tuple(verts[i] for i in range(min(len(verts), 6)) if (b >> i) & 1)
+            update = VertexInsertion(next_vertex, neighbors)
+            next_vertex += 1
+        apply_update(scratch, update)
+        updates.append(update)
+    return updates
+
+
+@st.composite
+def differential_cases(draw):
+    n = draw(st.integers(min_value=3, max_value=12))
+    max_m = n * (n - 1) // 2
+    m = draw(st.integers(min_value=0, max_value=min(3 * n, max_m)))
+    seed = draw(st.integers(min_value=0, max_value=999))
+    ops = draw(
+        st.lists(
+            st.tuples(st.integers(0, 3), st.integers(0, 15), st.integers(0, 63)),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    return gnm_random_graph(n, m, seed=seed), ops
+
+
+@settings(max_examples=20)
+@given(differential_cases())
+def test_differential_harness_identical_at_every_step(case):
+    """All drivers x policies agree after *every* update, not just at the end."""
+    graph, ops = case
+    updates = _decode_ops(graph, ops)
+    assume(updates)
+    drivers = [
+        (label, factory(graph, MetricsRecorder(label, strict=True)))
+        for label, factory in DIFFERENTIAL_COMBOS
+    ]
+    for step, update in enumerate(updates):
+        reference = None
+        for label, driver in drivers:
+            driver.apply(update)
+            parent = driver.parent_map()
+            if reference is None:
+                reference_label, reference = label, parent
+            else:
+                assert parent == reference, (
+                    f"step {step} ({update.describe()}): {label} diverged from {reference_label}"
+                )
+    # End-of-sequence: the shared tree is a valid DFS forest of the ground
+    # truth graph, and the fault-tolerant driver (replaying the whole batch
+    # from preprocessed state) lands on the same tree.
+    _, reference_driver = drivers[0]
+    assert reference_driver.is_valid()
+    ft = FaultTolerantDFS(graph, metrics=MetricsRecorder("ft", strict=True))
+    tree, ft_graph = ft.query_with_graph(updates)
+    assert check_dfs_tree(ft_graph, tree.parent_map()) == []
+    assert tree.parent_map() == reference_driver.parent_map()
