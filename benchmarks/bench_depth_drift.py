@@ -1,0 +1,112 @@
+"""E9 — depth-aware voluntary rebuilds close the ``rebuild_every=None`` gap.
+
+The PR 3 regression this experiment guards: on low-diameter graphs under the
+auto-tuned policy, pure local repair *loses* to rebuild-on-invalidation —
+the forced rebuilds it avoids were accidentally re-minimising the broadcast
+depth (initiators sit near update sites), so pure-repair trees ride a deeper
+tree forever and every pipelined wave pays the extra depth.
+
+The fix is the ``depth_drift`` cost model: the backend accumulates *observed
+waves × (current depth − fresh-rebuild depth)* — the excess rounds the stale
+tree actually charged — and forces a **voluntary rebuild** from the best
+known initiator once the account exceeds the modeled ``O(D)`` rebuild cost.
+
+The harness drives a low-diameter ``sustained_churn`` workload with
+``rebuild_every=None`` through three configurations,
+
+* ``rebuild_on_invalidation`` — ``local_repair=False`` (every broadcast-tree
+  death pays a full rebuild),
+* ``pure_repair`` — ``local_repair=True, drift_rebuild_cost=inf`` (the
+  regression configuration: repairs never trigger a rebuild),
+* ``voluntary`` — ``local_repair=True`` with the default cost model,
+
+and asserts that the voluntary-rebuild configuration uses strictly fewer
+total CONGEST rounds than *both* baselines, fires at least one voluntary
+rebuild, keeps repairs dominant over fallbacks, and maintains parent maps
+byte-identical across all three configurations after every update (query
+answers are canonical — the cost model changes the rounds, never the tree).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import record_table, scale_sizes
+from repro.distributed.distributed_dfs import DistributedDynamicDFS
+from repro.metrics.counters import MetricsRecorder
+from repro.workloads.scenarios import build_scenario
+
+UPDATES = 100
+
+CONFIGS = [
+    ("rebuild_on_invalidation", dict(local_repair=False)),
+    ("pure_repair", dict(local_repair=True, drift_rebuild_cost=float("inf"))),
+    ("voluntary", dict(local_repair=True)),
+]
+
+
+@pytest.mark.benchmark(group="E9-depth-drift")
+def test_voluntary_rebuild_beats_both_baselines(benchmark):
+    cases = [
+        (scale_sizes([96], [48])[0], scale_sizes([2], [5])[0]),
+        (scale_sizes([144], [32])[0], scale_sizes([2], [7])[0]),
+    ]
+    labels, rounds_by_config = [], {name: [] for name, _ in CONFIGS}
+    voluntary_counts, repair_counts, fallback_counts = [], [], []
+    for n, seed in cases:
+        scenario = build_scenario("sustained_churn", n=n, seed=seed, updates=UPDATES)
+        updates = scenario.updates[:UPDATES]
+        drivers = {}
+        for name, kwargs in CONFIGS:
+            metrics = MetricsRecorder(name, strict=True)
+            drivers[name] = (
+                DistributedDynamicDFS(
+                    scenario.graph, rebuild_every=None, metrics=metrics, **kwargs
+                ),
+                metrics,
+            )
+        # Stepwise so divergence (which canonical answers forbid) is caught at
+        # the offending update, not at the end of the run.
+        for step, update in enumerate(updates):
+            reference = None
+            for name, (driver, _) in drivers.items():
+                driver.apply(update)
+                if reference is None:
+                    reference = driver.parent_map()
+                else:
+                    assert driver.parent_map() == reference, (
+                        f"{name} diverged at update {step} (n={n})"
+                    )
+        totals = {name: driver.rounds() for name, (driver, _) in drivers.items()}
+        _, vol_metrics = drivers["voluntary"]
+        assert totals["voluntary"] < totals["rebuild_on_invalidation"], (n, totals)
+        assert totals["voluntary"] < totals["pure_repair"], (n, totals)
+        assert vol_metrics["voluntary_rebuilds"] >= 1, f"cost model never fired (n={n})"
+        assert vol_metrics["bfs_repairs"] > vol_metrics["bfs_repair_fallbacks"]
+        labels.append(f"n={n},seed={seed},D={drivers['voluntary'][0].diameter}")
+        for name, _ in CONFIGS:
+            rounds_by_config[name].append(totals[name])
+        voluntary_counts.append(vol_metrics["voluntary_rebuilds"])
+        repair_counts.append(vol_metrics["bfs_repairs"])
+        fallback_counts.append(vol_metrics["bfs_repair_fallbacks"])
+
+    record_table(
+        benchmark,
+        "E9_depth_drift_total_rounds",
+        list(range(len(labels))),
+        {
+            **{f"rounds_{name}": vals for name, vals in rounds_by_config.items()},
+            "voluntary_rebuilds": voluntary_counts,
+            "bfs_repairs": repair_counts,
+            "bfs_repair_fallbacks": fallback_counts,
+        },
+    )
+    print("cases:", ", ".join(labels))
+
+    scenario = build_scenario("sustained_churn", n=cases[0][0], seed=cases[0][1], updates=UPDATES)
+
+    def run():
+        dist = DistributedDynamicDFS(scenario.graph, rebuild_every=None, local_repair=True)
+        dist.apply_all(scenario.updates[:20])
+
+    benchmark(run)

@@ -14,7 +14,7 @@ import pytest
 
 from benchmarks.conftest import record_table, scale_sizes
 from repro.core.dynamic_dfs import FullyDynamicDFS
-from repro.graph.generators import comb_with_back_edges, gnp_random_graph
+from repro.graph.generators import comb_with_tip_back_edges, gnp_random_graph
 from repro.metrics.counters import MetricsRecorder
 from repro.workloads.updates import edge_churn
 
@@ -79,16 +79,15 @@ def test_parallel_vs_sequential_on_adversarial_comb(benchmark):
     from repro.graph.traversal import static_dfs_forest
     from repro.tree.dfs_tree import DFSTree
 
-    from repro.graph.generators import comb_graph
-
     teeth_sizes = scale_sizes([16, 32, 64, 128], [8, 16])
     tooth = 6
     par_rounds, seq_depth = [], []
     for teeth in teeth_sizes:
-        # Plain comb: the only edge from each hanging subtree to the carved
-        # path is its spine edge, so the Θ(teeth) chain is forced regardless
-        # of which canonical source endpoint the query service reports.
-        graph = comb_graph(teeth, tooth)
+        # Tip back edges that *survive* canonical re-anchoring: each tip
+        # reaches only the spine vertex before its own tooth, so whichever
+        # source endpoint the canonical answer picks, the sequential baseline
+        # still peels one tooth per dependent reroot (Θ(teeth) chain).
+        graph = comb_with_tip_back_edges(teeth, tooth)
         tree = DFSTree(static_dfs_forest(graph), root=VIRTUAL_ROOT)
         task = RerootTask(subtree_root=0, new_root=teeth + tooth - 1, attach=VIRTUAL_ROOT)
         service = BruteForceQueryService(graph, tree)
@@ -110,7 +109,7 @@ def test_parallel_vs_sequential_on_adversarial_comb(benchmark):
     # The separation the paper proves: the ratio grows with the input size.
     assert seq_depth[-1] / max(par_rounds[-1], 1) > seq_depth[0] / max(par_rounds[0], 1)
 
-    graph = comb_with_back_edges(teeth_sizes[-1], tooth)
+    graph = comb_with_tip_back_edges(teeth_sizes[-1], tooth)
     tree = DFSTree(static_dfs_forest(graph), root=VIRTUAL_ROOT)
     task = RerootTask(subtree_root=0, new_root=teeth_sizes[-1] + tooth - 1, attach=VIRTUAL_ROOT)
     service = BruteForceQueryService(graph, tree)

@@ -5,6 +5,13 @@ while the baseline re-runs the ``O(m + n)`` static DFS after every update.  The
 harness reports wall-clock per update for both as ``m`` grows and checks the
 qualitative claim: the dynamic algorithm's advantage grows with density for
 updates that touch small subtrees.
+
+A second harness restores the *sequential-baseline separation* on the
+adversarial comb: the spine deletions of ``comb_with_tip_back_edges`` (whose
+tip back edges survive the canonical minimum-postorder source re-anchoring,
+unlike the tip-to-spine-start edges of ``comb_with_back_edges``) force the
+sequential rerooting engine through a Θ(teeth) dependency chain per update,
+while the parallel engine's round count stays poly-logarithmic.
 """
 
 from __future__ import annotations
@@ -17,6 +24,8 @@ from benchmarks.conftest import record_table, scale_sizes
 from repro.baselines.static_recompute import StaticRecomputeDFS
 from repro.core.dynamic_dfs import FullyDynamicDFS
 from repro.graph.generators import gnp_random_graph
+from repro.metrics.counters import MetricsRecorder
+from repro.workloads.scenarios import build_scenario
 from repro.workloads.updates import edge_churn
 
 
@@ -60,5 +69,60 @@ def test_dynamic_vs_static_recompute(benchmark):
     def run():
         dyn.delete_edge(u0, v0)
         dyn.insert_edge(u0, v0)
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="E7-vs-static")
+def test_sequential_baseline_separation_on_comb(benchmark):
+    """The adversarial comb (tip back edges that survive canonical source
+    re-anchoring) separates the engines again: the sequential baseline's
+    dependency chain grows linearly with the number of teeth, the parallel
+    engine's query rounds stay poly-logarithmic, and both maintain the same
+    trees as the static recompute ground truth."""
+    sizes = scale_sizes([120, 240, 480], [60, 120])
+    seq_chain, par_rounds, ratios = [], [], []
+    for n in sizes:
+        scenario = build_scenario("adversarial_comb", n=n, updates=4)
+        results = {}
+        for engine in ("sequential", "parallel"):
+            metrics = MetricsRecorder(engine, strict=True)
+            dyn = FullyDynamicDFS(scenario.graph, engine=engine, metrics=metrics)
+            dyn.apply_all(scenario.updates)
+            # The baseline follows a different rerooting order, so its tree
+            # may legitimately differ — both must be valid DFS forests.
+            assert dyn.is_valid(), f"{engine} engine produced an invalid tree (n={n})"
+            results[engine] = (dyn.parent_map(), metrics)
+        static = StaticRecomputeDFS(scenario.graph)
+        static.apply_all(scenario.updates)
+        assert static.is_valid()
+        chain = results["sequential"][1]["max_sequential_chain_depth"]
+        rounds = results["parallel"][1]["query_rounds"] / max(
+            results["parallel"][1]["updates"], 1
+        )
+        seq_chain.append(chain)
+        par_rounds.append(round(rounds, 1))
+        ratios.append(round(chain / max(rounds, 1), 2))
+
+    record_table(
+        benchmark,
+        "E7_sequential_separation_on_comb",
+        sizes,
+        {
+            "sequential_chain_depth": seq_chain,
+            "parallel_query_rounds_per_update": par_rounds,
+            "chain_over_rounds": ratios,
+        },
+    )
+    # The separation the back-edge comb is built for: the chain grows with
+    # the input, the parallel rounds barely move, so the ratio must widen.
+    assert seq_chain[-1] > seq_chain[0]
+    assert ratios[-1] > ratios[0]
+
+    scenario = build_scenario("adversarial_comb", n=sizes[0], updates=2)
+    dyn = FullyDynamicDFS(scenario.graph, engine="parallel")
+
+    def run():
+        dyn.apply_all(scenario.updates[:2])
 
     benchmark(run)

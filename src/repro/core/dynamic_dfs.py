@@ -57,6 +57,7 @@ from typing import Dict, Hashable, Iterable, List, Optional, Sequence
 
 from repro.constants import VIRTUAL_ROOT
 from repro.core.engine import Backend, UpdateEngine
+from repro.core.maintenance import CostModel, CostSignal, MaintenanceController
 from repro.core.overlay import (
     apply_update,
     reused_vertex_id_needs_rebuild,
@@ -111,6 +112,21 @@ class DStructureBackend(Backend):
         self.structure: Optional[StructureD] = None
         self._d_maintenance = d_maintenance
         self._rebase_segment_threshold = rebase_segment_threshold
+        # Cost-model maintenance: the Theorem 9 overlay budget drives the
+        # auto-tuned rebuild cadence, and in absorb mode the rebase triggers
+        # (pinned side lists, then the segment EWMA — historical priority) are
+        # forcing models that veto overlay service under any policy.
+        self.controller = MaintenanceController(metrics=metrics)
+        self.controller.add(
+            CostModel("overlay", self.overlay_budget, inclusive=True)
+        )
+        if d_maintenance == "absorb":
+            self.controller.add(
+                CostModel("pinned", self.overlay_budget, forces=True)
+            )
+            self.controller.add(
+                CostModel("segments", self.rebase_segment_threshold, forces=True)
+            )
 
     def rebase_segment_threshold(self) -> float:
         """Segment EWMA that triggers an absorb-mode rebase (auto ~sqrt(m))."""
@@ -119,22 +135,18 @@ class DStructureBackend(Backend):
         return float(max(4, isqrt(max(self.graph.num_edges, 1))))
 
     def rebase_trigger(self) -> Optional[str]:
-        """Which budget (if any) demands a full rebase of absorb-mode ``D``.
+        """Which cost model (if any) demands a full rebase of absorb-mode ``D``.
 
         ``"segments"`` — the per-query segment EWMA crossed the threshold: the
         frozen base tree has diverged so far from the current tree that query
         decompositions have caught up with the rebuild cost it was avoiding.
         ``"pinned"`` — the pinned cross-edge side lists outgrew the overlay
         budget: their per-query scans cost more than a rebuild.  ``None`` —
-        keep absorbing.
+        keep absorbing.  Thin wrapper over the controller's forcing models.
         """
-        if self._d_maintenance != "absorb" or self.structure is None:
+        if self.structure is None:
             return None
-        if self.structure.pinned_size() > self.overlay_budget():
-            return "pinned"
-        if self.structure.avg_target_segments() > self.rebase_segment_threshold():
-            return "segments"
-        return None
+        return self.controller.forced_due()
 
     def rebuild(self, tree: DFSTree, update: Optional[Update]) -> None:
         self.metrics.inc("d_rebuilds")
@@ -152,14 +164,12 @@ class DStructureBackend(Backend):
             self.metrics.inc(f"d_rebase_trigger_{trigger}")
         with self.metrics.timer("build_d"):
             self.structure = StructureD(self.graph, tree, metrics=self.metrics)
+        self.controller.on_refresh()
 
     def must_rebuild(self, update: Update) -> bool:
-        # A due rebase vetoes overlay service exactly like a re-used vertex
-        # id: the refresh happens now, not at the next policy cadence point.
-        return (
-            reused_vertex_id_needs_rebuild(self.structure, update)
-            or self.rebase_trigger() is not None
-        )
+        # Re-used vertex ids make overlays ambiguous; the rebase triggers go
+        # through the controller's forcing models instead (engine-level veto).
+        return reused_vertex_id_needs_rebuild(self.structure, update)
 
     def overlay_size(self) -> int:
         return self.structure.overlay_size()
@@ -178,10 +188,14 @@ class DStructureBackend(Backend):
 
     def end_update(self, update: Update) -> None:
         # One divergence sample per update: this update's mean target
-        # segments per query (see StructureD.fold_segment_sample).
+        # segments per query (see StructureD.fold_segment_sample), then the
+        # structure's cost signals are reported to the controller — the
+        # policy decision of the next update reads them from there.
         if self.structure is not None:
             self.structure.fold_segment_sample()
             self.metrics.set("avg_target_segments", self.structure.avg_target_segments())
+            for name, value in self.structure.maintenance_signals().items():
+                self.controller.report(CostSignal(name, value))
 
 
 class BruteBackend(Backend):

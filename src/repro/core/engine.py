@@ -38,6 +38,16 @@ A backend can veto overlay service for a specific update
 entries would make overlays ambiguous) and can declare that its cached state
 became structurally invalid after a mutation (:meth:`Backend.cache_invalid`,
 e.g. a deleted BFS-tree edge in the CONGEST backend).
+
+**Cost-model maintenance.**  A backend may attach a
+:class:`~repro.core.maintenance.MaintenanceController`; the engine then
+consults it at every policy decision.  Its *cadence* models implement the
+auto-tuned ``rebuild_every=None`` policy (the Theorem 9 overlay budget), and
+its *forcing* models veto overlay service under any policy — the absorb-mode
+rebase triggers and the CONGEST depth-drift voluntary rebuild both flow
+through this single path instead of per-backend trigger plumbing.
+Controller-demanded refreshes are counted under ``service_rebuilds_forced``
+plus ``cost_model_triggers``.
 """
 
 from __future__ import annotations
@@ -97,6 +107,16 @@ class Backend:
 
     #: The environment's live graph (mutated through :meth:`mutate` only).
     graph: UndirectedGraph
+
+    #: Optional cost-model maintenance controller (see
+    #: :mod:`repro.core.maintenance`).  Backends that attach one report
+    #: :class:`~repro.core.maintenance.CostSignal` observations in
+    #: :meth:`end_update`; the engine consults the controller's cadence
+    #: models under the auto-tuned policy and its forcing models under every
+    #: policy.  When None, the auto-tuned policy falls back to the raw
+    #: :meth:`overlay_size` / :meth:`overlay_budget` comparison (the
+    #: fault-tolerant backend's never-rebuild infinite budget).
+    controller = None
 
     # ------------------------------------------------------------------ #
     # State refresh
@@ -298,18 +318,27 @@ class UpdateEngine:
         backend = self.backend
         if not backend.supports_amortization:
             return False
+        controller = backend.controller
         if self._rebuild_every is not None:
             allowed = self._updates_since_rebuild + 1 < self._rebuild_every
+        elif controller is not None:
+            allowed = controller.cadence_due() is None
         else:
             allowed = backend.overlay_size() < backend.overlay_budget()
         if not allowed:
             return False
         if backend.must_rebuild(update):
-            # Backend veto (re-used vertex id, due absorb-mode rebase): the
-            # refresh happens now rather than at the next cadence point.
-            # Counted only here — a veto coinciding with a cadence rebuild
-            # forced nothing extra.
+            # Backend veto (re-used vertex id): the refresh happens now rather
+            # than at the next cadence point.  Counted only here — a veto
+            # coinciding with a cadence rebuild forced nothing extra.
             self.metrics.inc("service_rebuilds_forced")
+            return False
+        if controller is not None and controller.forced_due() is not None:
+            # Cost-model veto (due absorb-mode rebase, accumulated broadcast
+            # depth-drift cost): the excess per-update cost the cached state
+            # was charging has caught up with the refresh cost it avoided.
+            self.metrics.inc("service_rebuilds_forced")
+            self.metrics.inc("cost_model_triggers")
             return False
         return True
 

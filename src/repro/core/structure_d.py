@@ -283,6 +283,24 @@ class StructureD:
         """EWMA of mean target segments per query since this structure was built."""
         return self._segment_ewma
 
+    def maintenance_signals(self) -> Dict[str, float]:
+        """The structure's maintenance cost signals, one value per update.
+
+        Keys match the :class:`~repro.core.maintenance.CostModel` names the
+        ``D``-based backends register: ``overlay`` (Theorem 9 entries masking
+        or extending the base lists — the auto-tuned rebuild cadence),
+        ``pinned`` (cross-edge side lists no absorb can retire) and
+        ``segments`` (the per-query divergence EWMA).  Backends report these
+        through :meth:`MaintenanceController.observe
+        <repro.core.maintenance.MaintenanceController.observe>` after every
+        update instead of each policy re-reading structure internals.
+        """
+        return {
+            "overlay": float(self.overlay_size()),
+            "pinned": float(self.pinned_size()),
+            "segments": self._segment_ewma,
+        }
+
     def _overlay_neighbors(self, u: Vertex):
         """All overlay-recorded neighbours of *u* (inserted + pinned)."""
         return chain(self._extra_edges.get(u, ()), self._cross_edges.get(u, ()))

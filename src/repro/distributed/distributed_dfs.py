@@ -25,9 +25,23 @@ re-broadcasts the summary on every update (the classic behaviour);
 ``rebuild_every=k > 1`` (or ``None``) reuses the cached broadcast state, so an
 overlay-served update only pays the dissemination and query rounds.  A
 mutation that structurally invalidates the cache — a deleted BFS-tree edge or
-node — forces a rebuild regardless of the policy.  Query *answers* never
-depend on the cache (each node answers from its live adjacency list), so all
-policies maintain byte-identical trees.
+node — forces a rebuild regardless of the policy (or a *local repair* under
+``local_repair=True``).  Query *answers* never depend on the cache (each node
+answers from its live adjacency list), so all policies maintain byte-identical
+trees.
+
+**Depth-drift cost model.**  Pipelined waves pay the broadcast tree's max
+depth per chunk, so a cached tree deeper than a fresh rebuild's charges its
+excess depth on every wave.  The backend therefore runs two cost-model
+decisions on the shared :class:`~repro.core.maintenance.MaintenanceController`:
+a *repair gate* (a local repair whose resulting tree would be deeper than the
+fallback rebuild falls back to that rebuild instead) and a *voluntary
+rebuild* (an accumulating ``depth_drift`` account of observed *waves ×
+drift*; once it exceeds the modeled ``O(D)`` rebuild cost, the next update
+rebuilds from the best known initiator, counted under
+``voluntary_rebuilds``).  Together they close the ``rebuild_every=None``
+regression where pure repair rode a permanently deeper tree than
+rebuild-on-invalidation on low-diameter graphs (benchmark E9).
 
 The driver reports rounds, messages and maximum message size per update so
 benchmark E4 can check the ``O(D log^2 n)`` rounds / ``O(nD log^2 n + m)``
@@ -40,6 +54,7 @@ from typing import Dict, Hashable, Iterable, List, Optional, Sequence
 
 from repro.constants import VIRTUAL_ROOT
 from repro.core.engine import Backend, UpdateEngine, update_words
+from repro.core.maintenance import CostModel, CostSignal, MaintenanceController
 from repro.core.queries import Answer, BruteForceQueryService, EdgeQuery, QueryService
 from repro.core.updates import (
     EdgeDeletion,
@@ -57,7 +72,7 @@ from repro.distributed.forest import (
 from repro.distributed.network import CongestNetwork, recommended_bandwidth
 from repro.exceptions import UpdateError
 from repro.graph.graph import UndirectedGraph
-from repro.graph.traversal import static_dfs_forest
+from repro.graph.traversal import bfs_tree, static_dfs_forest
 from repro.metrics.counters import MetricsRecorder
 from repro.tree.dfs_tree import DFSTree
 
@@ -110,7 +125,24 @@ class CongestBackend(Backend):
     subtree is *locally repaired* — reattached through a surviving incident
     edge in ``O(depth-of-subtree)`` rounds — and only a subtree with no
     surviving edge into the rest of the tree (or a dead broadcast root) forces
-    the conservative full ``O(D)``-round BFS rebuild."""
+    the conservative full ``O(D)``-round BFS rebuild.
+
+    **Depth-aware voluntary rebuilds.**  Repairs (and joining vertices) may
+    leave the cached tree deeper than the tree a fresh BFS from the update's
+    canonical initiator would build, and every pipelined wave pays the tree's
+    max depth per chunk — so a permanently drifted tree charges its excess
+    depth on every later broadcast/convergecast.  The backend therefore
+    reports a ``depth_drift`` :class:`CostSignal` after each update —
+    *observed waves × (current depth − fresh-rebuild depth)*, the excess
+    rounds the stale tree charged that update — into an accumulating
+    :class:`CostModel`, and once the account exceeds the modeled ``O(D)``
+    rebuild cost the controller forces a *voluntary* rebuild
+    (``voluntary_rebuilds``), which re-minimises the depths and resets the
+    account.  The signal is computed locally without communication: every
+    node stores the graph (updates are disseminated in full — the driver
+    already recomputes the articulation/bridge summary locally on commit), so
+    each node can evaluate the would-be initiator's BFS depth itself.
+    """
 
     name = "distributed_dfs"
     supports_amortization = True
@@ -123,6 +155,7 @@ class CongestBackend(Backend):
         metrics: MetricsRecorder,
         *,
         local_repair: bool = True,
+        drift_rebuild_cost: Optional[float] = None,
     ) -> None:
         self.graph = graph
         self.network = network
@@ -131,25 +164,69 @@ class CongestBackend(Backend):
         self.bfs_depth: Dict[Vertex, int] = {}
         self._cache_broken = True
         self._local_repair = local_repair
+        self._drift_rebuild_cost = drift_rebuild_cost
         self._pending_orphans: List[Vertex] = []
-        self._repair_depth_bound = 0
+        self._as_built_depth = 0
+        self._committed_tree: Optional[DFSTree] = None
+        #: Best (minimum-eccentricity) rebuild initiator observed since the
+        #: last rebuild — the root a *voluntary* rebuild floods from.
+        self._drift_initiator: Optional[Vertex] = None
         self._rebuilt_this_update = False
         self._update_words = 0
         self._rounds_before = 0
         self._messages_before = 0
+        self._query_batches_before = 0.0
         self.articulation: set = set()
         self.bridges: set = set()
+        # Cost-model maintenance: only repair mode can drift the tree depth
+        # (conservative invalidation rebuilds — and therefore re-minimises —
+        # on every broadcast-tree death), so only repair mode carries the
+        # drift account.
+        self.controller = MaintenanceController(metrics=metrics)
+        if local_repair:
+            self.controller.add(
+                CostModel(
+                    "depth_drift", self._modeled_rebuild_cost, kind="excess", forces=True
+                )
+            )
 
     # ------------------------------------------------------------------ #
     def overlay_budget(self) -> float:
         # A stale (but intact) broadcast tree never degrades query answers —
-        # only the round accounting of its depths — so the auto policy
-        # rebuilds only when the cache is structurally broken.
+        # only the round accounting of its depths (which the depth-drift cost
+        # model governs) — so the cadence policy rebuilds only when the cache
+        # is structurally broken.
         return float("inf")
+
+    def _modeled_rebuild_cost(self) -> float:
+        """Rounds a voluntary rebuild costs: the BFS flood (one round per
+        level) plus the summary re-broadcast a rebuild update pays — modeled
+        as two waves of the as-built depth.  The ``drift_rebuild_cost`` knob
+        overrides the model (``float("inf")`` disables voluntary rebuilds,
+        the pure-repair baseline of benchmark E9)."""
+        if self._drift_rebuild_cost is not None:
+            return self._drift_rebuild_cost
+        return max(2.0 * (self._as_built_depth + 1), 1.0)
 
     def rebuild(self, tree: DFSTree, update: Optional[Update]) -> None:
         self._rebuilt_this_update = True
-        initiator = self._pick_initiator(tree, update)
+        voluntary = (
+            self.controller.has_model("depth_drift")
+            and self.controller.model("depth_drift").due()
+        )
+        if voluntary:
+            # The accumulated excess rounds the drifted tree charged have
+            # caught up with this rebuild's cost: the rebuild is voluntary
+            # (demanded by the cost model, not by a broken cache).  It is
+            # maintenance rather than update-site recovery, so it floods from
+            # the best initiator the drift account was measured against —
+            # otherwise the new tree could be just as deep and the account
+            # would refill immediately.
+            self.metrics.inc("voluntary_rebuilds")
+        if voluntary and self._drift_initiator is not None and self.graph.has_vertex(self._drift_initiator):
+            initiator = self._drift_initiator
+        else:
+            initiator = self._pick_initiator(tree, update)
         if self.graph.num_vertices:
             self.bfs_parent, self.bfs_depth = self.network.build_bfs_tree(initiator)
             # Components the initiator cannot reach still hold their nodes:
@@ -162,14 +239,9 @@ class CongestBackend(Backend):
             self.bfs_parent, self.bfs_depth = {initiator: None}, {initiator: 0}
         self._cache_broken = False
         self._pending_orphans.clear()
-        # Repairs may reattach subtrees below their BFS-optimal level, and
-        # *every* later pipelined broadcast/convergecast pays the tree's max
-        # depth per wave — so even a one-level permanent depth drift quickly
-        # outweighs the O(D) rebuilds the repairs avoid on query-heavy
-        # workloads.  The bound is therefore strict: a repair must not push
-        # the tree past its as-built depth at all; one that would falls back
-        # to a rebuild, which re-minimises the depths.
-        self._repair_depth_bound = max(self.bfs_depth.values(), default=0)
+        self._as_built_depth = max(self.bfs_depth.values(), default=0)
+        self._drift_initiator = None
+        self.controller.on_refresh()
 
     def cache_invalid(self, update: Update) -> bool:
         """Post-mutation cache check — and the local-repair entry point.
@@ -189,6 +261,10 @@ class CongestBackend(Backend):
             self._cache_broken = True
             return True
         rounds_before = self.network.rounds
+        # The depth the fallback rebuild would achieve right now: the
+        # yardstick the cost-model repair gate measures the planned repair
+        # against.
+        fresh_depth = self._fallback_rebuild_depth(update)
         # Collect every orphaned subtree first: a node whose own root path is
         # severed is not a valid reattachment target for a sibling subtree.
         subtrees = []
@@ -202,7 +278,7 @@ class CongestBackend(Backend):
         repaired = True
         for root, sub, rel_depth in subtrees:
             still_orphaned.difference_update(sub)
-            if not self._repair_orphan(root, sub, rel_depth, still_orphaned):
+            if not self._repair_orphan(root, sub, rel_depth, still_orphaned, fresh_depth):
                 repaired = False
                 break
             repaired_depths.append(max(rel_depth.values()))
@@ -225,54 +301,51 @@ class CongestBackend(Backend):
         sub: List[Vertex],
         rel_depth: Dict[Vertex, int],
         still_orphaned: set,
+        fresh_depth: int,
     ) -> bool:
         """Reattach the orphaned broadcast subtree *sub* (rooted at *root*).
 
         Every subtree node scans its local adjacency for a surviving neighbour
         whose own root path is intact (one local round), the candidates are
         combined with a convergecast *inside the subtree* (``O(depth(sub))``
-        rounds, one word per edge), and the winner — the candidate whose
-        reattachment leaves the re-rooted subtree shallowest, ties broken by
-        subtree BFS order, then adjacency order, so the result is
-        deterministic — re-roots the subtree at itself and hangs it off the
-        surviving neighbour.  A final one-word
-        broadcast down the re-rooted subtree (``O(depth)`` rounds again)
-        distributes the decision and the corrected depths.  Returns False when
-        no subtree node has a surviving edge out — the subtree is truly
-        disconnected from the live tree and only a full rebuild can certify
-        the new component structure — or when every reattachment would push
-        the tree past the repair depth bound, at which point the rebuild the
-        repairs kept avoiding has become the cheaper option (pipelined rounds
-        scale with tree depth).
+        rounds, one word per edge), and the winner — the candidate with the
+        smallest *two-level score*, ties broken by subtree BFS order, then
+        adjacency order, so the result is deterministic — re-roots the
+        subtree at itself and hangs it off the surviving neighbour.  A final
+        one-word broadcast down the re-rooted subtree (``O(depth)`` rounds
+        again) distributes the decision and the corrected depths.
+
+        **Two-level candidate selection.**  The score combines the two tree
+        levels a candidate ``u`` touches — the live depth of its reattachment
+        target plus ``u``'s own depth inside the orphaned subtree
+        (``bfs_depth[target] + rel_depth[u]``).  Because the re-rooted height
+        from ``u`` is at most ``rel_depth[u] + H`` (``H`` = the subtree's
+        height, a shared constant), minimising the score minimises an upper
+        bound on the resulting bottom depth — approximating the exact
+        min-bottom-depth selection at ``O(1)`` bookkeeping per candidate
+        instead of a per-candidate subtree BFS, without changing the repair's
+        ``O(depth-of-subtree)`` round accounting (still exactly one
+        convergecast and one broadcast over the subtree).
+
+        Returns False when no subtree node has a surviving edge out — the
+        subtree is truly disconnected from the live tree and only a full
+        rebuild can certify the new component structure — or when the
+        **cost-model repair gate** rejects the plan: the repaired tree would
+        end up deeper than the fallback rebuild's (*fresh_depth*).  Accepting
+        such a repair converts the rebuild's one-time ``O(D)`` rounds into a
+        recurring per-wave drift charge: the ``depth_drift`` account tolerates
+        up to one modeled rebuild cost of excess before the voluntary rebuild
+        corrects it, so riding the drift costs about *twice* the rebuild the
+        repair avoided — rebuilding now is always cheaper.  (This replaces the
+        old hard as-built depth bound, which measured drift against the stale
+        as-built depth and let repairs ride trees a fresh rebuild would
+        beat.)  The gate is disabled together with voluntary rebuilds by
+        ``drift_rebuild_cost=inf`` — the pure-repair baseline.
         """
         sub_set = set(sub)
-        # Tree adjacency inside the subtree (for per-candidate heights).
-        tree_adj: Dict[Vertex, List[Vertex]] = {v: [] for v in sub}
-        for v in sub:
-            if v == root:
-                continue
-            p = self.bfs_parent[v]
-            tree_adj[v].append(p)
-            tree_adj[p].append(v)
-
-        def height_from(u: Vertex) -> int:
-            """Height of the subtree once re-rooted at *u* (tree-edge BFS)."""
-            seen = {u}
-            frontier = [u]
-            h = 0
-            while frontier:
-                nxt = [y for x in frontier for y in tree_adj[x] if y not in seen]
-                seen.update(nxt)
-                if nxt:
-                    h += 1
-                frontier = nxt
-            return h
-
-        # Per node, the shallowest surviving neighbour; per candidate, the
-        # resulting bottom depth of the re-rooted subtree.  Minimising that
-        # bottom depth (rather than just the attach point's depth) is what
-        # keeps repeated repairs from ratcheting the global tree depth up.
-        best = None  # (resulting bottom depth, attach vertex, target vertex)
+        # Two-level score per candidate: live target depth + depth inside the
+        # orphaned subtree.  O(1) per candidate — no per-candidate BFS.
+        best = None  # (two-level score, attach vertex, target vertex)
         for u in sub:
             target_depth = None
             target = None
@@ -283,19 +356,20 @@ class CongestBackend(Backend):
                     target_depth, target = self.bfs_depth[w], w
             if target is None:
                 continue
-            bottom = target_depth + 1 + height_from(u)
-            if best is None or bottom < best[0]:
-                best = (bottom, u, target)
+            score = target_depth + rel_depth[u]
+            if best is None or score < best[0]:
+                best = (score, u, target)
         # The candidate convergecast is paid whether or not anything was
         # found: the subtree cannot know it is disconnected without looking.
         old_parent = {v: (None if v == root else self.bfs_parent[v]) for v in sub}
         self.network.pipelined_convergecast(old_parent, rel_depth, 1)
-        if best is None or best[0] > self._repair_depth_bound:
+        if best is None:
             return False
         _, attach, target = best
         flipped = reroot_parent_tree(sub, self.bfs_parent, attach)
         # Depth wave: every subtree node is exactly one deeper than its new
-        # parent, assigned top-down from the reattachment point.
+        # parent, assigned top-down from the reattachment point.  Planned
+        # before committing — the exact re-rooted bottom depth feeds the gate.
         new_children: Dict[Vertex, List[Vertex]] = {}
         for v, p in flipped.items():
             new_children.setdefault(p, []).append(v)
@@ -308,6 +382,18 @@ class CongestBackend(Backend):
                     new_depth[c] = new_depth[v] + 1
                     nxt.append(c)
             frontier = nxt
+        if self._drift_rebuild_cost != float("inf"):
+            repaired_max = max(new_depth.values())
+            rest_max = max(
+                (
+                    d
+                    for v, d in self.bfs_depth.items()
+                    if v not in sub_set and v not in still_orphaned
+                ),
+                default=0,
+            )
+            if max(repaired_max, rest_max) > fresh_depth:
+                return False
         self.bfs_parent[attach] = target
         self.bfs_parent.update(flipped)
         self.bfs_depth.update(new_depth)
@@ -404,12 +490,14 @@ class CongestBackend(Backend):
         self._rebuilt_this_update = False
         self._rounds_before = self.network.rounds
         self._messages_before = self.network.messages
+        self._query_batches_before = self.metrics["query_batches"]
 
     def on_commit(self, tree: DFSTree) -> None:
         # Every node recomputes the forest summary locally; re-disseminating
         # it (an O(n)-word broadcast so the next deletion can pick initiators
         # locally) is paid on rebuild updates only — the amortized policy's
         # second saving besides the BFS construction itself.
+        self._committed_tree = tree
         self.articulation, self.bridges = articulation_points_and_bridges(self.graph)
         if self._rebuilt_this_update and self.graph.num_vertices > 1:
             summary_words = max(len(self.articulation) + len(self.bridges), 1)
@@ -419,9 +507,63 @@ class CongestBackend(Backend):
                 min(summary_words, self.graph.num_vertices),
             )
 
+    def _fallback_rebuild_depth(self, update: Update) -> int:
+        """Depth the *fallback* rebuild for this update would produce: the BFS
+        eccentricity of the update's canonical initiator (recovery rebuilds
+        must start at an update-adjacent node).  The repair gate compares the
+        planned repair against exactly this — the alternative actually on the
+        table.  Evaluated locally from the stored graph; no rounds charged."""
+        initiator = self._pick_initiator(self._committed_tree, update)
+        if not self.graph.has_vertex(initiator):
+            return self._as_built_depth
+        _, depth = bfs_tree(self.graph, initiator)
+        return max(depth.values(), default=0)
+
+    def _fresh_rebuild_depth(self, update: Update) -> int:
+        """Depth a rebuild could achieve now: the smaller of the BFS
+        eccentricities of this update's canonical initiator and the best
+        initiator observed since the last rebuild (remembered so a voluntary
+        rebuild can actually reach this depth).  A candidate whose BFS spans
+        fewer vertices than the current broadcast tree covers is not a valid
+        yardstick — rebuilding from it would not produce a comparable tree,
+        just a degenerate forest of accounting-only roots — so such
+        candidates are skipped.  Evaluated locally from the stored graph —
+        no rounds are charged, the same local full-graph liberty the
+        articulation/bridge summary already takes."""
+        candidates = []
+        if self._drift_initiator is not None and self.graph.has_vertex(self._drift_initiator):
+            candidates.append(self._drift_initiator)
+        update_initiator = self._pick_initiator(self._committed_tree, update)
+        if self.graph.has_vertex(update_initiator) and update_initiator not in candidates:
+            candidates.append(update_initiator)
+        current_span = sum(1 for p in self.bfs_parent.values() if p is not None) + 1
+        best_depth = None
+        for candidate in candidates:
+            _, depth = bfs_tree(self.graph, candidate)
+            if len(depth) < current_span:
+                continue
+            ecc = max(depth.values(), default=0)
+            if best_depth is None or ecc < best_depth:
+                best_depth = ecc
+                self._drift_initiator = candidate
+        if best_depth is None:
+            return self._as_built_depth
+        return best_depth
+
     def end_update(self, update: Update) -> None:
         self.metrics.observe_max("rounds_per_update", self.network.rounds - self._rounds_before)
         self.metrics.observe_max("messages_per_update", self.network.messages - self._messages_before)
+        if self.controller.has_model("depth_drift") and self.bfs_depth:
+            # Excess rounds the stale tree charged this update: every
+            # pipelined wave (the dissemination broadcast plus a convergecast
+            # and a broadcast per query batch) pays the tree's max depth per
+            # chunk, so the drift — current depth minus what a fresh rebuild
+            # would give — was charged once per wave.
+            drift = max(self.bfs_depth.values()) - self._fresh_rebuild_depth(update)
+            if drift > 0:
+                batches = self.metrics["query_batches"] - self._query_batches_before
+                waves = 1 + 2 * batches
+                self.controller.report(CostSignal("depth_drift", waves * drift))
 
 
 class DistributedDynamicDFS:
@@ -433,7 +575,8 @@ class DistributedDynamicDFS:
         ``1`` (default) — rebuild the broadcast tree and re-disseminate the
         forest summary on every update.  ``k > 1`` / ``None`` — reuse the
         cached broadcast state between rebuilds (``None``: rebuild only when a
-        mutation breaks the cached tree beyond repair).  All policies maintain
+        mutation breaks the cached tree beyond repair, or the ``depth_drift``
+        cost model demands a voluntary rebuild).  All policies maintain
         identical trees.
     local_repair:
         When True (default) a dead broadcast-tree edge/node reattaches the
@@ -443,6 +586,17 @@ class DistributedDynamicDFS:
         when the subtree is truly disconnected.  ``False`` restores the
         conservative invalidate-on-any-death behaviour (every tree-edge death
         rebuilds), which benchmarks use as the comparison baseline.
+    drift_rebuild_cost:
+        Repair mode only: budget (in CONGEST rounds) of the ``depth_drift``
+        cost model.  A drifted broadcast tree pays its excess depth on every
+        pipelined wave — the backend accumulates that excess (*observed waves
+        × depth drift*) and forces a **voluntary rebuild**
+        (``voluntary_rebuilds``) once it exceeds this budget, re-minimising
+        the depths.  ``None`` (default) models the actual rebuild cost (two
+        waves of the as-built depth, ``~2(D+1)``); ``float("inf")`` disables
+        both voluntary rebuilds and the cost-model repair gate (the
+        pure-repair baseline of benchmark E9, which re-creates the
+        depth-drift regression this model fixes).
     """
 
     def __init__(
@@ -452,12 +606,17 @@ class DistributedDynamicDFS:
         bandwidth_words: Optional[int] = None,
         rebuild_every: Optional[int] = 1,
         local_repair: bool = True,
+        drift_rebuild_cost: Optional[float] = None,
         validate: bool = False,
         metrics: Optional[MetricsRecorder] = None,
     ) -> None:
         if graph.num_vertices == 0:
             raise ValueError("the distributed model needs at least one node")
         UpdateEngine.validate_options("parallel", rebuild_every)  # fail fast
+        if drift_rebuild_cost is not None and drift_rebuild_cost <= 0:
+            raise ValueError(
+                f"drift_rebuild_cost must be a positive budget or None, got {drift_rebuild_cost!r}"
+            )
         self.metrics = metrics or MetricsRecorder("distributed_dfs")
         self._graph = graph.copy()
         root = next(iter(self._graph.vertices()))
@@ -468,7 +627,11 @@ class DistributedDynamicDFS:
             parent = static_dfs_forest(self._graph)
         tree = DFSTree(parent, root=VIRTUAL_ROOT)
         self._backend = CongestBackend(
-            self._graph, self.network, self.metrics, local_repair=local_repair
+            self._graph,
+            self.network,
+            self.metrics,
+            local_repair=local_repair,
+            drift_rebuild_cost=drift_rebuild_cost,
         )
         # No initial rebuild: the BFS/broadcast tree is per-update recovery
         # state, not preprocessing — the backend's cache starts broken, so the

@@ -195,9 +195,9 @@ def caterpillar_graph(spine: int, legs_per_vertex: int) -> UndirectedGraph:
 def comb_graph(teeth: int, tooth_length: int) -> UndirectedGraph:
     """A comb: a spine of *teeth* vertices, each carrying a path of *tooth_length*.
 
-    With back edges added between consecutive teeth tips (see
-    :func:`comb_with_back_edges`), rerooting at the far end forces the
-    sequential algorithm through Θ(teeth) dependent reroots.
+    With back edges added from each tooth tip to the spine vertex before its
+    tooth (see :func:`comb_with_tip_back_edges`), rerooting at a tooth tip
+    forces the sequential algorithm through Θ(teeth) dependent reroots.
     """
     edges = [(i, i + 1) for i in range(teeth - 1)]
     next_id = teeth
@@ -211,13 +211,44 @@ def comb_graph(teeth: int, tooth_length: int) -> UndirectedGraph:
 
 
 def comb_with_back_edges(teeth: int, tooth_length: int) -> UndirectedGraph:
-    """A comb plus an edge from every tooth tip back to the start of the spine."""
+    """A comb plus an edge from every tooth tip back to the start of the spine.
+
+    Historical note: because every tip reaches spine vertex 0 directly, the
+    canonical minimum-postorder source re-anchoring lets the sequential
+    rerooting baseline shortcut the Θ(teeth) dependency chain through the
+    tips — use :func:`comb_with_tip_back_edges` when the separation between
+    the sequential and parallel engines is the point of the experiment.
+    """
     g = comb_graph(teeth, tooth_length)
     # Tooth t occupies vertices teeth + t*tooth_length .. teeth + (t+1)*tooth_length - 1
     for t in range(teeth):
         tip = teeth + (t + 1) * tooth_length - 1
         if tooth_length > 0 and not g.has_edge(0, tip) and tip != 0:
             g.add_edge(0, tip)
+    return g
+
+
+def comb_with_tip_back_edges(teeth: int, tooth_length: int) -> UndirectedGraph:
+    """A comb plus an edge from every tooth tip back to the spine vertex
+    *before* its own tooth.
+
+    The adversarial variant whose back edges *survive* the canonical
+    minimum-postorder source re-anchoring: each hanging subtree's only edges
+    into the evolving carved path land one spine vertex back, so — whichever
+    endpoint the canonical answer picks as the source — the sequential
+    rerooting baseline still peels exactly one tooth per dependent reroot
+    (Θ(teeth) chain), while the parallel engine processes the teeth in a
+    poly-logarithmic number of rounds.  Contrast with
+    :func:`comb_with_back_edges`, whose tip-to-spine-start edges give every
+    subtree a shortcut to the same anchor vertex.
+    """
+    g = comb_graph(teeth, tooth_length)
+    if tooth_length < 1:
+        return g
+    for t in range(1, teeth):
+        tip = teeth + (t + 1) * tooth_length - 1
+        if not g.has_edge(tip, t - 1):
+            g.add_edge(tip, t - 1)
     return g
 
 
@@ -254,6 +285,7 @@ FAMILIES = {
     "caterpillar": caterpillar_graph,
     "comb": comb_graph,
     "comb_back_edges": comb_with_back_edges,
+    "comb_tip_back_edges": comb_with_tip_back_edges,
     "lollipop": lollipop_graph,
     "random_tree": random_tree,
     "cycle_with_chords": cycle_with_chords,

@@ -32,6 +32,9 @@ WELL_KNOWN_COUNTERS: Dict[str, str] = {
     "service_rebuilds_forced": "rebuilds forced by a backend veto (re-used vertex id, due rebase) rather than the policy cadence",
     "overlay_served_updates": "updates served from the existing service state instead of a rebuild",
     "max_overlay_size": "largest overlay (masked + extra entries) observed between rebuilds",
+    # Cost-model maintenance (MaintenanceController)
+    "cost_model_triggers": "service refreshes demanded by a MaintenanceController forcing model (cost-model veto of overlay service)",
+    "cost_model_excess": "excess per-update cost accumulated by MaintenanceController excess models (e.g. depth-drift rounds)",
     # Data structure D (Theorems 8-9) and its maintenance policies
     "d_builds": "StructureD constructions (one per full rebuild of D)",
     "d_build_work": "total adjacency entries processed while building D",
@@ -106,8 +109,9 @@ WELL_KNOWN_COUNTERS: Dict[str, str] = {
     "max_messages_per_update": "worst CONGEST messages one update needed",
     "bfs_repairs": "broadcast-tree local repairs (orphaned subtree reattached in O(depth) rounds)",
     "bfs_repair_rounds": "CONGEST rounds spent inside local broadcast-tree repairs",
-    "bfs_repair_fallbacks": "local repairs abandoned for a full rebuild (orphaned subtree disconnected, or every reattachment would exceed the as-built depth bound)",
+    "bfs_repair_fallbacks": "local repairs abandoned for a full rebuild (orphaned subtree disconnected, or the cheapest reattachment's depth drift alone would exceed the modeled rebuild cost)",
     "max_bfs_repair_subtree_depth": "deepest orphaned subtree a local repair reattached",
+    "voluntary_rebuilds": "depth-aware voluntary BFS rebuilds (accumulated query-wave x depth-drift rounds exceeded the modeled O(D) rebuild cost)",
     # PRAM simulation
     "pram_depth": "simulated PRAM depth (parallel time)",
     "pram_work": "simulated PRAM work (total operations)",

@@ -28,6 +28,7 @@ from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set
 
 from repro.constants import VIRTUAL_ROOT
 from repro.core.engine import Backend, UpdateEngine
+from repro.core.maintenance import CostModel, CostSignal, MaintenanceController
 from repro.core.overlay import reused_vertex_id_needs_rebuild, theorem9_overlay_budget
 from repro.core.queries import Answer, DQueryService, EdgeQuery, QueryService
 from repro.core.structure_d import StructureD
@@ -180,6 +181,12 @@ class StreamSnapshotBackend(_StreamBackendBase):
     ) -> None:
         super().__init__(graph, stream, vertices, metrics)
         self.structure: Optional[StructureD] = None
+        # The snapshot policy on the shared cost-model controller: one
+        # snapshot pass per refresh amortizes against the per-query overlay
+        # scans the stale snapshot charges, so the cadence model re-snapshots
+        # exactly when the Theorem 9 overlay outgrows its budget.
+        self.controller = MaintenanceController(metrics=metrics)
+        self.controller.add(CostModel("overlay", self.overlay_budget, inclusive=True))
 
     def rebuild(self, tree: DFSTree, update: Optional[Update]) -> None:
         self.metrics.inc("d_rebuilds")
@@ -188,9 +195,15 @@ class StreamSnapshotBackend(_StreamBackendBase):
             # current tree's post-order numbers (Theorem 8 on a snapshot).
             snapshot = UndirectedGraph(vertices=list(self.vertices), edges=self.stream.pass_over())
             self.structure = StructureD(snapshot, tree, metrics=self.metrics)
+        self.controller.on_refresh()
 
     def must_rebuild(self, update: Update) -> bool:
         return reused_vertex_id_needs_rebuild(self.structure, update)
+
+    def end_update(self, update: Update) -> None:
+        super().end_update(update)
+        if self.structure is not None:
+            self.controller.report(CostSignal("overlay", float(self.structure.overlay_size())))
 
     def overlay_size(self) -> int:
         return self.structure.overlay_size()

@@ -10,7 +10,7 @@ from repro.core.updates import Update
 from repro.graph.generators import (
     broom_graph,
     caterpillar_graph,
-    comb_with_back_edges,
+    comb_with_tip_back_edges,
     cycle_with_chords,
     gnp_random_graph,
     grid_graph,
@@ -78,7 +78,10 @@ def _road_closures(n: int, seed: int, updates: int) -> Scenario:
 def _adversarial_comb(n: int, seed: int, updates: int) -> Scenario:
     teeth = max(n // 10, 4)
     tooth = 9
-    graph = comb_with_back_edges(teeth, tooth)
+    # Tip back edges that survive canonical source re-anchoring (each tip
+    # reaches only the spine vertex before its own tooth), so the spine
+    # deletions keep forcing the Θ(teeth) sequential chain.
+    graph = comb_with_tip_back_edges(teeth, tooth)
     ups = adversarial_comb_updates(teeth, tooth)[: max(updates, 2)]
     return Scenario(
         name="adversarial_comb",

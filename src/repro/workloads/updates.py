@@ -160,7 +160,7 @@ def failure_burst(graph: UndirectedGraph, k: int, *, seed: Optional[int] = None)
 def adversarial_comb_updates(teeth: int, tooth_length: int) -> List[Update]:
     """Updates that repeatedly force a long rerooting chain on a comb graph.
 
-    Designed for :func:`repro.graph.generators.comb_with_back_edges`: deleting
+    Designed for :func:`repro.graph.generators.comb_with_tip_back_edges`: deleting
     the spine edge ``(0, 1)`` forces the whole comb (minus the first tooth) to
     be rerooted through a chain of tooth-by-tooth reroots in the sequential
     baseline, while the parallel algorithm disintegrates it in ``O(log^2 n)``

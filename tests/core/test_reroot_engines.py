@@ -9,7 +9,7 @@ from repro.core.reduction import RerootTask
 from repro.core.reroot_parallel import ParallelRerootEngine
 from repro.core.reroot_sequential import SequentialRerootEngine
 from repro.core.structure_d import StructureD
-from repro.graph.generators import comb_with_back_edges, gnp_random_graph
+from repro.graph.generators import gnp_random_graph
 from repro.graph.traversal import static_dfs_forest
 from repro.graph.validation import check_dfs_tree
 from repro.metrics.counters import MetricsRecorder
@@ -66,15 +66,16 @@ def test_engines_produce_valid_reroots_on_random_graphs():
 
 
 def test_parallel_engine_beats_sequential_chain_on_comb():
-    from repro.graph.generators import comb_graph
+    from repro.graph.generators import comb_with_tip_back_edges
 
     teeth, tooth = 48, 6
-    # Plain comb (no tip back edges): each hanging subtree's only edge to the
-    # carved path is its spine edge, so the sequential chain is forced to
-    # Θ(teeth) for *any* answer tie-break.  (With tip-to-spine-start back
-    # edges the canonical minimum-postorder source endpoint happens to pick
-    # the tips, letting the baseline shortcut the chain.)
-    g = comb_graph(teeth, tooth)
+    # Comb whose tip back edges *survive* the canonical minimum-postorder
+    # source re-anchoring: each tip reaches only the spine vertex before its
+    # own tooth, so whichever endpoint the canonical answer picks, the
+    # sequential chain is still forced to Θ(teeth).  (With tip-to-spine-start
+    # back edges — comb_with_back_edges — the canonical source happens to
+    # pick the tips, letting the baseline shortcut the chain.)
+    g = comb_with_tip_back_edges(teeth, tooth)
     tree = DFSTree(static_dfs_forest(g), root=VIRTUAL_ROOT)
     # Reroot the whole comb at the tip of the *first* tooth: every step of the
     # sequential procedure exposes one more tooth.

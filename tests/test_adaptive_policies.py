@@ -1,6 +1,6 @@
 """Property-based tests for the adaptive maintenance policies.
 
-Two policies are covered:
+Three policies are covered:
 
 * **Absorb-mode auto-rebase** (:class:`repro.core.dynamic_dfs.DStructureBackend`):
   the per-update segment EWMA triggers a full rebase of ``D`` exactly when it
@@ -14,6 +14,14 @@ Two policies are covered:
   edge exists in the graph, depths are parent-consistent and acyclic), and a
   shallow orphaned subtree is repaired in strictly fewer rounds than the full
   rebuild the conservative invalidation pays.
+
+* **Depth-aware voluntary rebuilds** (the ``depth_drift``
+  :class:`~repro.core.maintenance.CostModel`): a voluntary rebuild fires iff
+  the accumulated *waves × drift* account exceeds the modeled rebuild cost —
+  with exact accumulator-reset arithmetic replayed by a shadow account — and
+  under the auto-tuned policy on low-diameter workloads the repairing driver
+  never falls behind rebuild-on-invalidation by more than the cost model's
+  bounded regret (and strictly wins on the sustained-churn regression case).
 """
 
 from __future__ import annotations
@@ -24,10 +32,13 @@ from hypothesis import strategies as st
 
 from repro.core.dynamic_dfs import FullyDynamicDFS
 from repro.core.structure_d import SEGMENT_EWMA_ALPHA
+from repro.core.updates import EdgeDeletion
 from repro.distributed.distributed_dfs import DistributedDynamicDFS
 from repro.graph.generators import gnm_random_graph, path_graph
 from repro.graph.graph import UndirectedGraph
+from repro.graph.traversal import bfs_tree
 from repro.metrics.counters import MetricsRecorder
+from repro.workloads.scenarios import build_scenario
 from repro.workloads.updates import edge_churn
 
 SETTINGS = settings(max_examples=20, deadline=None)
@@ -45,6 +56,53 @@ def churn_cases(draw, max_n=20, max_updates=14):
     count = draw(st.integers(min_value=1, max_value=max_updates))
     graph = gnm_random_graph(n, m, seed=graph_seed)
     return graph, edge_churn(graph, count, seed=churn_seed)
+
+
+def _is_connected(graph):
+    if graph.num_vertices == 0:
+        return True
+    root = next(iter(graph.vertices()))
+    _, depth = bfs_tree(graph, root)
+    return len(depth) == graph.num_vertices
+
+
+def _connectivity_preserving_churn(graph, count, seed):
+    """Edge churn filtered so the graph stays connected throughout — the
+    low-diameter regime the depth-drift policy is specified for (once the
+    graph fragments, the simulator's degenerate accounting-only broadcast
+    forests disseminate for free and round comparisons stop meaning much)."""
+    scratch = graph.copy()
+    out = []
+    for update in edge_churn(graph, count * 3, seed=seed):
+        if isinstance(update, EdgeDeletion):
+            if not scratch.has_edge(update.u, update.v):
+                continue
+            scratch.remove_edge(update.u, update.v)
+            if not _is_connected(scratch):
+                scratch.add_edge(update.u, update.v)
+                continue
+        else:
+            if scratch.has_edge(update.u, update.v):
+                continue
+            scratch.add_edge(update.u, update.v)
+        out.append(update)
+        if len(out) >= count:
+            break
+    return out
+
+
+@st.composite
+def low_diameter_cases(draw, max_n=32, max_updates=24):
+    """Connected, dense-ish random graphs (diameter a small constant) under
+    connectivity-preserving edge churn."""
+    n = draw(st.integers(min_value=8, max_value=max_n))
+    max_m = n * (n - 1) // 2
+    m = draw(st.integers(min_value=2 * n, max_value=min(4 * n, max_m)))
+    graph_seed = draw(st.integers(min_value=0, max_value=999))
+    churn_seed = draw(st.integers(min_value=0, max_value=999))
+    count = draw(st.integers(min_value=4, max_value=max_updates))
+    graph = gnm_random_graph(n, m, seed=graph_seed)
+    return graph, _connectivity_preserving_churn(graph, count, seed=churn_seed)
 
 
 # --------------------------------------------------------------------------- #
@@ -171,10 +229,19 @@ def test_local_repair_certifies_like_a_rebuild(case):
         _certify_broadcast_tree(repair._backend, repair.graph)
         assert repair.parent_map() == conservative.parent_map()
     assert repair.is_valid()
-    # A repair never teleports a subtree below the as-built depth bound.
+    # Cost-model invariant: a surviving repair never leaves the tree so deep
+    # that a single pipelined wave would out-cost the rebuild (the hard
+    # fallback), and any gradual drift stays inside the depth_drift budget —
+    # the account only ever exceeds it for the one update that triggers the
+    # voluntary rebuild, which resets it.
     backend = repair._backend
+    model = backend.controller.model("depth_drift")
     if backend.bfs_depth:
-        assert max(backend.bfs_depth.values()) <= max(backend._repair_depth_bound, 0)
+        assert (
+            max(backend.bfs_depth.values())
+            <= backend._as_built_depth + backend._modeled_rebuild_cost()
+        )
+    assert model.value() <= model.budget() or backend.controller.forced_due() == "depth_drift"
 
 
 def test_shallow_subtree_repair_beats_rebuild_rounds():
@@ -218,3 +285,178 @@ def test_disconnected_subtree_falls_back_to_rebuild():
     assert d.metrics["bfs_repairs"] == 0
     assert d.is_valid()
     _certify_broadcast_tree(d._backend, d.graph)
+
+
+# --------------------------------------------------------------------------- #
+# Depth-aware voluntary rebuilds (the depth_drift cost model)
+# --------------------------------------------------------------------------- #
+def _observed_drift_contribution(backend, graph, delta):
+    """Independently recompute the update's depth-drift signal: *waves ×
+    drift*, with the reference depth re-derived from the initiator the
+    account settled on (``_drift_initiator``), exactly as the backend's
+    ``end_update`` computed it."""
+    if not backend.bfs_depth:
+        return 0
+    if backend._drift_initiator is not None and graph.has_vertex(backend._drift_initiator):
+        _, depth = bfs_tree(graph, backend._drift_initiator)
+        reference = max(depth.values(), default=0)
+    else:
+        reference = backend._as_built_depth
+    drift = max(backend.bfs_depth.values()) - reference
+    if drift <= 0:
+        return 0
+    waves = 1 + 2 * delta.get("query_batches", 0)
+    return waves * drift
+
+
+@SETTINGS
+@given(low_diameter_cases())
+def test_voluntary_rebuild_fires_iff_account_exceeds_budget(case):
+    """``voluntary_rebuilds`` increments iff the accumulated waves × drift
+    account strictly exceeded the modeled rebuild cost at update start, and
+    the accumulator follows exact arithmetic: each update adds its observed
+    contribution, and any service rebuild resets the account to just the
+    post-rebuild observation — replayed here by a shadow account."""
+    graph, updates = case
+    assume(updates)
+    metrics = MetricsRecorder("dist", strict=True)
+    driver = DistributedDynamicDFS(graph, rebuild_every=None, local_repair=True, metrics=metrics)
+    backend = driver._backend
+    model = backend.controller.model("depth_drift")
+    shadow = 0.0
+    for update in updates:
+        due = model.value() > model.budget()
+        assert due == (backend.controller.forced_due() == "depth_drift")
+        before = metrics.as_dict()
+        driver.apply(update)
+        delta = metrics.snapshot_delta(before)
+        assert delta.get("voluntary_rebuilds", 0) == (1 if due else 0), (
+            "voluntary rebuild must fire iff the account exceeded the budget"
+        )
+        if due:
+            assert delta.get("cost_model_triggers", 0) == 1
+            assert delta.get("service_rebuilds", 0) >= 1
+        contribution = _observed_drift_contribution(backend, driver.graph, delta)
+        if delta.get("service_rebuilds", 0) >= 1:
+            shadow = contribution  # rebuild reset the account mid-update
+        else:
+            shadow += contribution
+        assert model.value() == pytest.approx(shadow), "accumulator arithmetic drifted"
+    assert driver.is_valid()
+
+
+@SETTINGS
+@given(low_diameter_cases())
+def test_low_diameter_auto_policy_repair_bounded_regret(case):
+    """On connected low-diameter workloads under ``rebuild_every=None`` the
+    repairing driver maintains byte-identical trees to rebuild-on-invalidation
+    after every update, and its total rounds never fall behind by more than
+    the cost model's bounded regret (one in-flight drift account plus one
+    voluntary rebuild — at most twice the modeled rebuild cost)."""
+    graph, updates = case
+    assume(updates)
+    repair = DistributedDynamicDFS(
+        graph,
+        rebuild_every=None,
+        local_repair=True,
+        metrics=MetricsRecorder("repair", strict=True),
+    )
+    conservative = DistributedDynamicDFS(
+        graph,
+        rebuild_every=None,
+        local_repair=False,
+        metrics=MetricsRecorder("conservative", strict=True),
+    )
+    max_budget = 0.0
+    for step, update in enumerate(updates):
+        repair.apply(update)
+        conservative.apply(update)
+        assert repair.parent_map() == conservative.parent_map(), f"diverged at update {step}"
+        max_budget = max(max_budget, repair._backend._modeled_rebuild_cost())
+    assert repair.rounds() <= conservative.rounds() + 2 * max_budget, (
+        repair.rounds(),
+        conservative.rounds(),
+        max_budget,
+    )
+
+
+@pytest.mark.parametrize("seed", [1, 9])
+def test_sustained_churn_auto_policy_repair_wins(seed):
+    """The PR 3 regression case, pinned: on a low-diameter ``sustained_churn``
+    workload with ``rebuild_every=None``, ``local_repair=True`` uses at most
+    the total rounds of ``local_repair=False`` and of the pure-repair
+    configuration (voluntary rebuilds disabled), with byte-identical parent
+    maps after every update."""
+    scenario = build_scenario("sustained_churn", n=64, seed=seed, updates=100)
+    updates = scenario.updates[:100]
+    drivers = {
+        "conservative": DistributedDynamicDFS(
+            scenario.graph, rebuild_every=None, local_repair=False,
+            metrics=MetricsRecorder("conservative", strict=True),
+        ),
+        "pure_repair": DistributedDynamicDFS(
+            scenario.graph, rebuild_every=None, local_repair=True,
+            drift_rebuild_cost=float("inf"),
+            metrics=MetricsRecorder("pure", strict=True),
+        ),
+        "voluntary": DistributedDynamicDFS(
+            scenario.graph, rebuild_every=None, local_repair=True,
+            metrics=MetricsRecorder("voluntary", strict=True),
+        ),
+    }
+    for step, update in enumerate(updates):
+        reference = None
+        for name, driver in drivers.items():
+            driver.apply(update)
+            if reference is None:
+                reference = driver.parent_map()
+            else:
+                assert driver.parent_map() == reference, f"{name} diverged at update {step}"
+    assert drivers["voluntary"].rounds() <= drivers["conservative"].rounds()
+    assert drivers["voluntary"].rounds() <= drivers["pure_repair"].rounds()
+
+
+def test_two_level_repair_round_accounting():
+    """The two-level candidate selection must not change the repair's round
+    accounting: a repair still costs exactly one intra-subtree convergecast
+    plus one re-rooted-subtree broadcast (``O(depth-of-subtree)`` rounds),
+    independent of how many reattachment candidates the subtree offers."""
+    def run_case(extra_candidate_edges):
+        # A hub (0) with two pendant paths: 10-11-12 (the orphan-to-be) and
+        # 20-21-22 (keeps the graph's eccentricity fixed at 4 whatever extra
+        # candidate edges exist, so the repair gate sees the same yardstick).
+        graph = UndirectedGraph(vertices=list(range(5)) + [10, 11, 12, 20, 21, 22])
+        for v in range(1, 5):
+            graph.add_edge(0, v)  # star core
+        graph.add_edge(1, 10)
+        graph.add_edge(10, 11)
+        graph.add_edge(11, 12)
+        graph.add_edge(4, 20)
+        graph.add_edge(20, 21)
+        graph.add_edge(21, 22)
+        metrics = MetricsRecorder("dist", strict=True)
+        # A huge finite drift budget: voluntary rebuilds stay out of the way,
+        # the repair gate (budget-independent) stays active.
+        d = DistributedDynamicDFS(
+            graph, rebuild_every=None, local_repair=True,
+            drift_rebuild_cost=1000.0, metrics=metrics,
+        )
+        d.insert_edge(0, 10)  # first update builds the broadcast tree (10 under 0)
+        for u, v in extra_candidate_edges:
+            # Inserted after the build: the cached broadcast tree is untouched,
+            # the repair just sees more reattachment candidates.
+            d.insert_edge(u, v)
+        before_repairs = metrics["bfs_repairs"]
+        before_rounds = metrics["bfs_repair_rounds"]
+        d.delete_edge(0, 10)  # severs the pendant subtree {10, 11, 12}
+        assert metrics["bfs_repairs"] == before_repairs + 1
+        assert metrics["bfs_repair_fallbacks"] == 0
+        _certify_broadcast_tree(d._backend, d.graph)
+        return metrics["bfs_repair_rounds"] - before_rounds
+
+    baseline_rounds = run_case([])
+    more_candidates_rounds = run_case([(11, 3), (12, 4)])
+    # One convergecast over the orphan (depth 2) + one broadcast down the
+    # re-rooted subtree (depth 2 again): exactly O(depth-of-subtree) rounds,
+    # independent of the number of candidates.
+    assert baseline_rounds == more_candidates_rounds == 2 + 2

@@ -153,6 +153,30 @@ DIFFERENTIAL_COMBOS = [
         "dist_amortized_repair",
         lambda g, m: DistributedDynamicDFS(g, rebuild_every=DIFFERENTIAL_K, local_repair=True, metrics=m),
     ),
+    # Cost-model-controller-driven configurations: the auto-tuned policy where
+    # every rebuild is demanded by a MaintenanceController model — the
+    # depth-drift voluntary rebuild (default), the pure-repair extreme that
+    # disables it, and the absorb auto-rebase under controller cadence.
+    (
+        "dist_auto_voluntary",
+        lambda g, m: DistributedDynamicDFS(g, rebuild_every=None, local_repair=True, metrics=m),
+    ),
+    (
+        "dist_auto_pure_repair",
+        lambda g, m: DistributedDynamicDFS(
+            g, rebuild_every=None, local_repair=True, drift_rebuild_cost=float("inf"), metrics=m
+        ),
+    ),
+    (
+        "core_absorb_auto_cadence",
+        lambda g, m: FullyDynamicDFS(
+            g,
+            rebuild_every=None,
+            d_maintenance="absorb",
+            rebase_segment_threshold=DIFFERENTIAL_REBASE_THRESHOLD,
+            metrics=m,
+        ),
+    ),
 ]
 
 
