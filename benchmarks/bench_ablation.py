@@ -1,5 +1,7 @@
 """E8 — ablation of the traversal mix (Section 4 design choices).
 
+Documented in ``docs/benchmarks.md`` (E8).
+
 The phase/stage machinery is what keeps the number of rounds poly-logarithmic:
 
 * disabling *path halving* (walking to the nearer endpoint instead) makes the

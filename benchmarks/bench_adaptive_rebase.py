@@ -1,5 +1,7 @@
 """E8 — adaptive absorb-mode maintenance: segment-EWMA-triggered rebases.
 
+Documented in ``docs/benchmarks.md`` (E8).
+
 Claim: with ``d_maintenance="absorb"`` the base tree of ``D`` is frozen, so
 per-query target decompositions grow without bound as the maintained tree
 diverges; the auto-rebase policy (``rebase_segment_threshold``) bounds them by

@@ -1,5 +1,7 @@
 """E7 — amortized batch updates: per-update rebuild vs Theorem 9 overlays.
 
+Documented in ``docs/benchmarks.md`` (E7).
+
 Claims reproduced: rebuilding ``D`` after every update costs ``O(m)`` work per
 update (Theorem 8), but the multi-update extension (Theorem 9) answers queries
 correctly for up to ``k`` overlaid updates, so a rebuild policy of

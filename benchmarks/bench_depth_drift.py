@@ -1,5 +1,7 @@
 """E9 — depth-aware voluntary rebuilds close the ``rebuild_every=None`` gap.
 
+Documented in ``docs/benchmarks.md`` (E9).
+
 The PR 3 regression this experiment guards: on low-diameter graphs under the
 auto-tuned policy, pure local repair *loses* to rebuild-on-invalidation —
 the forced rebuilds it avoids were accidentally re-minimising the broadcast

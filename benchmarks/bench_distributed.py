@@ -1,5 +1,7 @@
 """E4 — Theorem 16: distributed dynamic DFS in CONGEST(n/D).
 
+Documented in ``docs/benchmarks.md`` (E4).
+
 Claim: per update, ``O(D log^2 n)`` rounds and ``O(nD log^2 n + m)`` messages of
 size ``O(n/D)``.  The harness sweeps graphs of (roughly) fixed size but very
 different diameters and reports rounds, messages and the maximum message size

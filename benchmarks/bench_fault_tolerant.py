@@ -1,5 +1,7 @@
 """E2 — Theorem 14: fault-tolerant DFS for batches of k updates.
 
+Documented in ``docs/benchmarks.md`` (E2).
+
 The preprocessed structure ``D`` is never rebuilt; the cost of answering a
 batch grows with ``k`` because queries against the intermediate trees decompose
 into more and more ancestor–descendant segments of the original tree

@@ -1,5 +1,7 @@
 """E1 — Theorems 1/12/13: per-update cost of the parallel algorithm.
 
+Documented in ``docs/benchmarks.md`` (E1).
+
 Reproduces the paper's headline claim: after any single update the DFS tree is
 repaired with a poly-logarithmic number of parallel query rounds (the paper's
 ``O(log^2 n)`` sets of independent queries and ``O(log^3 n)`` EREW time), while

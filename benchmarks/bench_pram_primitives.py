@@ -1,5 +1,7 @@
 """E6 — Theorems 4–7: depth/work scaling of the PRAM substrate.
 
+Documented in ``docs/benchmarks.md`` (E6).
+
 Claims reproduced in shape: prefix sums, list ranking, Euler-tour tree functions
 and LCA preprocessing all run in ``O(log n)``/``O(log^2 n)`` simulated depth;
 their metered depth must grow additively (by a constant) when the input doubles,

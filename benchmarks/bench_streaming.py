@@ -1,5 +1,7 @@
 """E3 — Theorem 15: semi-streaming dynamic DFS.
 
+Documented in ``docs/benchmarks.md`` (E3).
+
 Claim: a DFS tree is maintained with ``O(log^2 n)`` passes over the edge stream
 per update and ``O(n)`` local space, whereas recomputing a DFS tree from a
 stream needs ``Θ(n)`` passes.  The harness sweeps ``n`` and reports the worst

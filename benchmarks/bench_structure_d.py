@@ -1,5 +1,7 @@
 """E5 — Theorems 8–9: building and querying the data structure D.
 
+Documented in ``docs/benchmarks.md`` (E5).
+
 Claims: ``D`` occupies ``O(m)`` space and is built with ``O(m log n)`` work in
 ``O(log n)`` parallel depth (sorting adjacency lists); a batch of independent
 queries is answered with one post-order range search per source vertex; after

@@ -1,5 +1,7 @@
 """E7 — dynamic update vs full static recomputation (the paper's motivation).
 
+Documented in ``docs/benchmarks.md`` (E7).
+
 The dynamic algorithm touches only the affected subtrees plus ``D`` maintenance,
 while the baseline re-runs the ``O(m + n)`` static DFS after every update.  The
 harness reports wall-clock per update for both as ``m`` grows and checks the

@@ -149,6 +149,7 @@ class MaintenanceController:
         return self._by_name[name]
 
     def has_model(self, name: str) -> bool:
+        """True when a model is registered for signal *name*."""
         return name in self._by_name
 
     # ------------------------------------------------------------------ #

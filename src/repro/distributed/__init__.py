@@ -2,11 +2,12 @@
 
 from repro.distributed.network import CongestNetwork
 from repro.distributed.distributed_dfs import DistributedDynamicDFS, DistributedQueryService
-from repro.distributed.forest import articulation_points_and_bridges
+from repro.distributed.forest import articulation_points_and_bridges, two_sweep_center
 
 __all__ = [
     "CongestNetwork",
     "DistributedDynamicDFS",
     "DistributedQueryService",
     "articulation_points_and_bridges",
+    "two_sweep_center",
 ]

@@ -30,18 +30,36 @@ node — forces a rebuild regardless of the policy (or a *local repair* under
 answers from its live adjacency list), so all policies maintain byte-identical
 trees.
 
-**Depth-drift cost model.**  Pipelined waves pay the broadcast tree's max
+**Per-component round accounting.**  Once the graph fragments, there is no
+edge along which one component could inform another — so a rebuild builds a
+BFS tree *per component* (one deterministic root each, flooded concurrently
+through :meth:`CongestNetwork.build_bfs_forest`), every pipelined wave is
+scheduled per tree of the resulting broadcast forest, and the network's
+per-component ledger attributes each tree its own rounds.  Dissemination into
+a fragment is therefore charged inside that fragment instead of riding the
+initiator's component for free, which is what makes cross-policy round
+comparisons meaningful on disconnecting workloads (benchmark E10).
+``component_accounting=False`` restores the legacy accounting (a single flood
+from the initiator, accounting-only singleton roots elsewhere) for
+comparison harnesses.
+
+**Depth-drift cost model.**  Pipelined waves pay the broadcast forest's max
 depth per chunk, so a cached tree deeper than a fresh rebuild's charges its
 excess depth on every wave.  The backend therefore runs two cost-model
 decisions on the shared :class:`~repro.core.maintenance.MaintenanceController`:
-a *repair gate* (a local repair whose resulting tree would be deeper than the
-fallback rebuild falls back to that rebuild instead) and a *voluntary
+a *repair gate* (a local repair whose resulting forest would be deeper than
+the fallback rebuild's falls back to that rebuild instead) and a *voluntary
 rebuild* (an accumulating ``depth_drift`` account of observed *waves ×
-drift*; once it exceeds the modeled ``O(D)`` rebuild cost, the next update
-rebuilds from the best known initiator, counted under
-``voluntary_rebuilds``).  Together they close the ``rebuild_every=None``
-regression where pure repair rode a permanently deeper tree than
-rebuild-on-invalidation on low-diameter graphs (benchmark E9).
+drift*, measured inside the updated component; once it exceeds the modeled
+``O(D)`` rebuild cost, the next update rebuilds the component from a
+**2-sweep BFS center** — two accounted BFS sweeps pick a root whose
+eccentricity is within a factor 2 of the component's true radius, counted
+under ``voluntary_rebuilds`` / ``center_sweeps`` /
+``max_voluntary_rebuild_root_depth``).  Together they close the
+``rebuild_every=None`` regression where pure repair rode a permanently
+deeper tree than rebuild-on-invalidation on low-diameter graphs (benchmark
+E9); ``voluntary_root="initiator"`` restores the best-observed-initiator
+root choice E10 compares the center against.
 
 The driver reports rounds, messages and maximum message size per update so
 benchmark E4 can check the ``O(D log^2 n)`` rounds / ``O(nD log^2 n + m)``
@@ -66,13 +84,15 @@ from repro.core.updates import (
 from repro.distributed.forest import (
     articulation_points_and_bridges,
     children_index,
+    farthest_vertex,
     parent_tree_subtree,
+    path_midpoint,
     reroot_parent_tree,
 )
 from repro.distributed.network import CongestNetwork, recommended_bandwidth
 from repro.exceptions import UpdateError
 from repro.graph.graph import UndirectedGraph
-from repro.graph.traversal import bfs_tree, static_dfs_forest
+from repro.graph.traversal import bfs_tree, component_of, static_dfs_forest
 from repro.metrics.counters import MetricsRecorder
 from repro.tree.dfs_tree import DFSTree
 
@@ -127,21 +147,41 @@ class CongestBackend(Backend):
     surviving edge into the rest of the tree (or a dead broadcast root) forces
     the conservative full ``O(D)``-round BFS rebuild.
 
+    **Per-component accounting.**  A rebuild floods one BFS tree per
+    connected component (the recovery initiator's component from the
+    initiator; every other component keeps its current broadcast root when
+    one survives, else floods from its first vertex in insertion order), so
+    the cached state is a broadcast *forest* and every wave is charged per
+    component by the network's round ledger.
+    ``component_accounting=False`` keeps the legacy single-flood rebuild
+    (accounting-only singleton roots outside the initiator's component) as
+    the comparison baseline of benchmark E10 and the conservativeness
+    property tests.
+
     **Depth-aware voluntary rebuilds.**  Repairs (and joining vertices) may
-    leave the cached tree deeper than the tree a fresh BFS from the update's
-    canonical initiator would build, and every pipelined wave pays the tree's
-    max depth per chunk — so a permanently drifted tree charges its excess
-    depth on every later broadcast/convergecast.  The backend therefore
-    reports a ``depth_drift`` :class:`CostSignal` after each update —
-    *observed waves × (current depth − fresh-rebuild depth)*, the excess
-    rounds the stale tree charged that update — into an accumulating
-    :class:`CostModel`, and once the account exceeds the modeled ``O(D)``
+    leave the cached tree deeper than the tree a fresh BFS would build, and
+    every pipelined wave pays the tree's max depth per chunk — so a
+    permanently drifted tree charges its excess depth on every later
+    broadcast/convergecast.  The backend therefore reports a ``depth_drift``
+    :class:`CostSignal` after each update — *observed waves × (current
+    component depth − fresh-rebuild depth)*, the excess rounds the stale tree
+    charged that update, both measured inside the updated component — into an
+    accumulating :class:`CostModel`, and once the account exceeds the modeled
     rebuild cost the controller forces a *voluntary* rebuild
     (``voluntary_rebuilds``), which re-minimises the depths and resets the
-    account.  The signal is computed locally without communication: every
-    node stores the graph (updates are disseminated in full — the driver
-    already recomputes the articulation/bridge summary locally on commit), so
-    each node can evaluate the would-be initiator's BFS depth itself.
+    account.  Under ``voluntary_root="center"`` (default) the voluntary
+    rebuild runs a **2-sweep BFS center approximation** inside the triggering
+    component — two *accounted* sweeps (``center_sweeps``) find a farthest
+    vertex ``u`` and a farthest-from-``u`` vertex ``w``, and the final flood
+    roots at the midpoint of the ``u → w`` path, whose eccentricity is within
+    a factor 2 of the component's true radius (and equals it on trees) —
+    strictly shallower than the best *observed* initiator whenever update
+    sites hug the periphery.  ``voluntary_root="initiator"`` keeps the legacy
+    best-observed-initiator root.  The drift signal itself is computed
+    locally without communication: every node stores the graph (updates are
+    disseminated in full — the driver already recomputes the
+    articulation/bridge summary locally on commit), so each node can evaluate
+    the would-be center's BFS depth itself.
     """
 
     name = "distributed_dfs"
@@ -156,7 +196,13 @@ class CongestBackend(Backend):
         *,
         local_repair: bool = True,
         drift_rebuild_cost: Optional[float] = None,
+        voluntary_root: str = "center",
+        component_accounting: bool = True,
     ) -> None:
+        if voluntary_root not in ("center", "initiator"):
+            raise ValueError(
+                f"voluntary_root must be 'center' or 'initiator', got {voluntary_root!r}"
+            )
         self.graph = graph
         self.network = network
         self.metrics = metrics
@@ -165,12 +211,19 @@ class CongestBackend(Backend):
         self._cache_broken = True
         self._local_repair = local_repair
         self._drift_rebuild_cost = drift_rebuild_cost
+        self._voluntary_root = voluntary_root
+        self._component_accounting = component_accounting
         self._pending_orphans: List[Vertex] = []
         self._as_built_depth = 0
         self._committed_tree: Optional[DFSTree] = None
         #: Best (minimum-eccentricity) rebuild initiator observed since the
-        #: last rebuild — the root a *voluntary* rebuild floods from.
+        #: last rebuild — the root an *initiator-mode* voluntary rebuild
+        #: floods from.
         self._drift_initiator: Optional[Vertex] = None
+        #: Seed inside the component whose drift account last grew — the
+        #: vertex a *center-mode* voluntary rebuild starts its accounted
+        #: 2-sweep from.
+        self._drift_seed: Optional[Vertex] = None
         self._rebuilt_this_update = False
         self._update_words = 0
         self._rounds_before = 0
@@ -192,23 +245,74 @@ class CongestBackend(Backend):
 
     # ------------------------------------------------------------------ #
     def overlay_budget(self) -> float:
-        # A stale (but intact) broadcast tree never degrades query answers —
-        # only the round accounting of its depths (which the depth-drift cost
-        # model governs) — so the cadence policy rebuilds only when the cache
-        # is structurally broken.
+        """Infinite: a stale (but intact) broadcast tree never degrades query
+        answers — only the round accounting of its depths, which the
+        ``depth_drift`` cost model governs — so the cadence policy rebuilds
+        only when the cache is structurally broken."""
         return float("inf")
 
     def _modeled_rebuild_cost(self) -> float:
-        """Rounds a voluntary rebuild costs: the BFS flood (one round per
-        level) plus the summary re-broadcast a rebuild update pays — modeled
-        as two waves of the as-built depth.  The ``drift_rebuild_cost`` knob
-        overrides the model (``float("inf")`` disables voluntary rebuilds,
-        the pure-repair baseline of benchmark E9)."""
+        """Rounds a voluntary rebuild costs, in waves of the as-built depth:
+        the BFS flood (one round per level) plus the summary re-broadcast a
+        rebuild update pays — and, under ``voluntary_root="center"``, the two
+        accounted 2-sweep BFS floods that locate the center first (four waves
+        instead of two).  The ``drift_rebuild_cost`` knob overrides the model
+        (``float("inf")`` disables voluntary rebuilds, the pure-repair
+        baseline of benchmark E9)."""
         if self._drift_rebuild_cost is not None:
             return self._drift_rebuild_cost
-        return max(2.0 * (self._as_built_depth + 1), 1.0)
+        waves = 4.0 if self._voluntary_root == "center" else 2.0
+        return max(waves * (self._as_built_depth + 1), 1.0)
+
+    def _accounted_center(self, seed: Vertex):
+        """Run the 2-sweep center approximation *through the network* inside
+        *seed*'s component: BFS from *seed* finds a farthest vertex ``u``, BFS
+        from ``u`` finds a farthest vertex ``w``, and the midpoint of the
+        ``u → w`` path is the candidate root.  Both sweeps charge their rounds
+        to the component (``center_sweeps``); the tie-breaks are the
+        deterministic BFS discovery order every node reproduces locally, so no
+        extra coordination rounds are needed.  ``O(ecc)`` rounds per sweep.
+        Returns ``(midpoint, ecc(seed))`` — the seed's eccentricity falls out
+        of the first sweep and saves the caller a recomputation."""
+        _, d1 = self.network.build_bfs_tree(seed)
+        self.metrics.inc("center_sweeps")
+        u = farthest_vertex(d1)
+        p2, d2 = self.network.build_bfs_tree(u)
+        self.metrics.inc("center_sweeps")
+        w = farthest_vertex(d2)
+        return path_midpoint(p2, d2, w), max(d1.values(), default=0)
+
+    def _rebuild_roots(self, first: Vertex) -> List[Vertex]:
+        """Roots of the rebuild's broadcast forest: *first* for its own
+        component plus — under per-component accounting — one root per other
+        component: its *current* broadcast root when one survives (so a
+        component's earlier centering is not wiped by rebuilds triggered
+        elsewhere, which would let the drift account refill immediately), the
+        component's first vertex in graph insertion order otherwise.  Legacy
+        accounting floods *first* only (the remaining vertices become
+        accounting-only singleton roots)."""
+        roots = [first]
+        if not self._component_accounting:
+            return roots
+        covered = set(component_of(self.graph, first))
+        current_roots = {v for v, p in self.bfs_parent.items() if p is None}
+        for v in self.graph.vertices():
+            if v not in covered:
+                component = component_of(self.graph, v)
+                root = next((c for c in component if c in current_roots), v)
+                roots.append(root)
+                covered.update(component)
+        return roots
 
     def rebuild(self, tree: DFSTree, update: Optional[Update]) -> None:
+        """Rebuild the broadcast forest (one accounted BFS flood per
+        component).  Recovery rebuilds flood the initiator's component from
+        the update's canonical initiator; a *voluntary* rebuild (demanded by
+        the ``depth_drift`` cost model) roots the triggering component at the
+        2-sweep center (or, in initiator mode, at the best observed
+        initiator) instead.  Emits ``service_rebuilds`` (via the engine),
+        ``voluntary_rebuilds``, ``center_sweeps`` and
+        ``max_voluntary_rebuild_root_depth``."""
         self._rebuilt_this_update = True
         voluntary = (
             self.controller.has_model("depth_drift")
@@ -218,30 +322,61 @@ class CongestBackend(Backend):
             # The accumulated excess rounds the drifted tree charged have
             # caught up with this rebuild's cost: the rebuild is voluntary
             # (demanded by the cost model, not by a broken cache).  It is
-            # maintenance rather than update-site recovery, so it floods from
-            # the best initiator the drift account was measured against —
-            # otherwise the new tree could be just as deep and the account
-            # would refill immediately.
+            # maintenance rather than update-site recovery, so it may pick
+            # its root freely inside the triggering component — otherwise the
+            # new tree could be just as deep and the account would refill
+            # immediately.
             self.metrics.inc("voluntary_rebuilds")
-        if voluntary and self._drift_initiator is not None and self.graph.has_vertex(self._drift_initiator):
-            initiator = self._drift_initiator
-        else:
-            initiator = self._pick_initiator(tree, update)
         if self.graph.num_vertices:
-            self.bfs_parent, self.bfs_depth = self.network.build_bfs_tree(initiator)
-            # Components the initiator cannot reach still hold their nodes:
-            # track them as additional broadcast roots (accounting only).
+            first = self._voluntary_rebuild_root(tree, update) if voluntary else None
+            if first is None:
+                first = self._pick_initiator(tree, update)
+            self.bfs_parent, self.bfs_depth = self.network.build_bfs_forest(
+                self._rebuild_roots(first)
+            )
+            # Vertices no flood reached (legacy accounting only): track them
+            # as additional broadcast roots (accounting only).
             for v in self.graph.vertices():
                 if v not in self.bfs_parent:
                     self.bfs_parent[v] = None
                     self.bfs_depth[v] = 0
         else:  # pragma: no cover - the model needs at least one node
-            self.bfs_parent, self.bfs_depth = {initiator: None}, {initiator: 0}
+            self.bfs_parent, self.bfs_depth = {}, {}
         self._cache_broken = False
         self._pending_orphans.clear()
         self._as_built_depth = max(self.bfs_depth.values(), default=0)
+        if voluntary:
+            self.metrics.observe_max(
+                "voluntary_rebuild_root_depth", self._as_built_depth
+            )
         self._drift_initiator = None
+        self._drift_seed = None
         self.controller.on_refresh()
+
+    def _voluntary_rebuild_root(
+        self, tree: DFSTree, update: Optional[Update]
+    ) -> Optional[Vertex]:
+        """Root a voluntary rebuild floods the triggering component from:
+        the accounted 2-sweep center (center mode) seeded at the vertex the
+        drift account was last measured against, or the best observed
+        initiator (initiator mode).  None when no remembered seed survives —
+        the caller falls back to the update's canonical initiator."""
+        if self._voluntary_root == "center":
+            seed = self._drift_seed
+            if seed is None or not self.graph.has_vertex(seed):
+                seed = self._pick_initiator(tree, update)
+            if not self.graph.has_vertex(seed):
+                return None
+            midpoint, seed_ecc = self._accounted_center(seed)
+            # Flood from whichever of {accounted midpoint, remembered best}
+            # is shallower — evaluated locally, like every depth yardstick.
+            _, mid_depth = bfs_tree(self.graph, midpoint)
+            if max(mid_depth.values(), default=0) <= seed_ecc:
+                return midpoint
+            return seed
+        if self._drift_initiator is not None and self.graph.has_vertex(self._drift_initiator):
+            return self._drift_initiator
+        return None
 
     def cache_invalid(self, update: Update) -> bool:
         """Post-mutation cache check — and the local-repair entry point.
@@ -261,10 +396,6 @@ class CongestBackend(Backend):
             self._cache_broken = True
             return True
         rounds_before = self.network.rounds
-        # The depth the fallback rebuild would achieve right now: the
-        # yardstick the cost-model repair gate measures the planned repair
-        # against.
-        fresh_depth = self._fallback_rebuild_depth(update)
         # Collect every orphaned subtree first: a node whose own root path is
         # severed is not a valid reattachment target for a sibling subtree.
         subtrees = []
@@ -278,7 +409,7 @@ class CongestBackend(Backend):
         repaired = True
         for root, sub, rel_depth in subtrees:
             still_orphaned.difference_update(sub)
-            if not self._repair_orphan(root, sub, rel_depth, still_orphaned, fresh_depth):
+            if not self._repair_orphan(root, sub, rel_depth, still_orphaned, update):
                 repaired = False
                 break
             repaired_depths.append(max(rel_depth.values()))
@@ -301,7 +432,7 @@ class CongestBackend(Backend):
         sub: List[Vertex],
         rel_depth: Dict[Vertex, int],
         still_orphaned: set,
-        fresh_depth: int,
+        update: Update,
     ) -> bool:
         """Reattach the orphaned broadcast subtree *sub* (rooted at *root*).
 
@@ -330,8 +461,9 @@ class CongestBackend(Backend):
         Returns False when no subtree node has a surviving edge out — the
         subtree is truly disconnected from the live tree and only a full
         rebuild can certify the new component structure — or when the
-        **cost-model repair gate** rejects the plan: the repaired tree would
-        end up deeper than the fallback rebuild's (*fresh_depth*).  Accepting
+        **cost-model repair gate** rejects the plan: the repaired component
+        would end up deeper than the depth the fallback rebuild would give
+        that same component (see :meth:`_component_fallback_depth`).  Accepting
         such a repair converts the rebuild's one-time ``O(D)`` rounds into a
         recurring per-wave drift charge: the ``depth_drift`` account tolerates
         up to one modeled rebuild cost of excess before the voluntary rebuild
@@ -383,12 +515,18 @@ class CongestBackend(Backend):
                     nxt.append(c)
             frontier = nxt
         if self._drift_rebuild_cost != float("inf"):
+            # Per-component gate, matching the drift account's yardstick: the
+            # repaired tree is compared against the depth the fallback
+            # rebuild would give *this* component — a deep unrelated
+            # component must not mask a component-level repair regression
+            # (the drift account would charge it per wave regardless).
+            members, fresh_depth = self._component_fallback_depth(root, update)
             repaired_max = max(new_depth.values())
             rest_max = max(
                 (
                     d
                     for v, d in self.bfs_depth.items()
-                    if v not in sub_set and v not in still_orphaned
+                    if v in members and v not in sub_set and v not in still_orphaned
                 ),
                 default=0,
             )
@@ -476,27 +614,33 @@ class CongestBackend(Backend):
         self.bfs_depth[v] = 0
 
     def on_mutated(self, update: Update) -> None:
-        # Recovery stage: disseminate the update itself over the (fresh or
-        # cached) broadcast tree.
+        """Recovery stage: disseminate the update itself over the (fresh or
+        cached) broadcast forest — a pipelined ``O(depth + words/B)``-round
+        wave, charged per component."""
         self.network.pipelined_broadcast(self.bfs_parent, self.bfs_depth, self._update_words)
 
     def make_query_service(self, tree: DFSTree) -> QueryService:
+        """A :class:`DistributedQueryService` over the cached broadcast forest
+        (one convergecast + broadcast per query batch)."""
         return DistributedQueryService(
             self.network, self.graph, tree, self.bfs_parent, self.bfs_depth, metrics=self.metrics
         )
 
     # ------------------------------------------------------------------ #
     def begin_update(self, update: Update) -> None:
+        """Snapshot round/message/query-batch counters for the per-update
+        maxima ``end_update`` flushes."""
         self._rebuilt_this_update = False
         self._rounds_before = self.network.rounds
         self._messages_before = self.network.messages
         self._query_batches_before = self.metrics["query_batches"]
 
     def on_commit(self, tree: DFSTree) -> None:
-        # Every node recomputes the forest summary locally; re-disseminating
-        # it (an O(n)-word broadcast so the next deletion can pick initiators
-        # locally) is paid on rebuild updates only — the amortized policy's
-        # second saving besides the BFS construction itself.
+        """Recompute the articulation/bridge summary (locally at every node)
+        and — on rebuild updates only, the amortized policy's second saving
+        besides the BFS construction itself — re-disseminate it with an
+        ``O(n)``-word pipelined broadcast so the next deletion can pick
+        initiators locally."""
         self._committed_tree = tree
         self.articulation, self.bridges = articulation_points_and_bridges(self.graph)
         if self._rebuilt_this_update and self.graph.num_vertices > 1:
@@ -507,63 +651,101 @@ class CongestBackend(Backend):
                 min(summary_words, self.graph.num_vertices),
             )
 
-    def _fallback_rebuild_depth(self, update: Update) -> int:
-        """Depth the *fallback* rebuild for this update would produce: the BFS
-        eccentricity of the update's canonical initiator (recovery rebuilds
-        must start at an update-adjacent node).  The repair gate compares the
-        planned repair against exactly this — the alternative actually on the
-        table.  Evaluated locally from the stored graph; no rounds charged."""
+    def _component_fallback_depth(self, vertex: Vertex, update: Update):
+        """``(members, depth)``: the vertices of *vertex*'s graph component
+        and the depth the *fallback* rebuild would give exactly that
+        component — the BFS eccentricity of the update's canonical initiator
+        when it lies inside (recovery rebuilds must start at an
+        update-adjacent node), else of the root :meth:`_rebuild_roots` would
+        pick for it (the surviving current root, or the component's first
+        vertex).  The repair gate compares the planned repair against this
+        per-component yardstick, the same scope the ``depth_drift`` account
+        measures — a deep unrelated component never masks a regression.
+        Evaluated locally from the stored graph; no rounds charged."""
+        component = component_of(self.graph, vertex)
+        members = set(component)
+        initiator = self._pick_initiator(self._committed_tree, update)
+        if initiator in members:
+            root = initiator
+        else:
+            current_roots = {v for v, p in self.bfs_parent.items() if p is None}
+            root = next((c for c in component if c in current_roots), component[0])
+        _, depth = bfs_tree(self.graph, root)
+        return members, max(depth.values(), default=0)
+
+    def _drift_reference(self, update: Update):
+        """The per-component drift yardstick for this update: ``(component,
+        fresh_depth)`` where *component* is the updated component's vertex
+        list and *fresh_depth* is the depth a voluntary rebuild of that
+        component would achieve right now — the 2-sweep center's eccentricity
+        in center mode, or the best eccentricity among the update's initiator
+        and the remembered best initiator in initiator mode (both remembered
+        so the voluntary rebuild can actually reach this depth).  Evaluated
+        locally from the stored graph — no rounds are charged, the same local
+        full-graph liberty the articulation/bridge summary already takes.
+        Returns ``(None, 0)`` when the update left no valid initiator."""
         initiator = self._pick_initiator(self._committed_tree, update)
         if not self.graph.has_vertex(initiator):
-            return self._as_built_depth
-        _, depth = bfs_tree(self.graph, initiator)
-        return max(depth.values(), default=0)
-
-    def _fresh_rebuild_depth(self, update: Update) -> int:
-        """Depth a rebuild could achieve now: the smaller of the BFS
-        eccentricities of this update's canonical initiator and the best
-        initiator observed since the last rebuild (remembered so a voluntary
-        rebuild can actually reach this depth).  A candidate whose BFS spans
-        fewer vertices than the current broadcast tree covers is not a valid
-        yardstick — rebuilding from it would not produce a comparable tree,
-        just a degenerate forest of accounting-only roots — so such
-        candidates are skipped.  Evaluated locally from the stored graph —
-        no rounds are charged, the same local full-graph liberty the
-        articulation/bridge summary already takes."""
-        candidates = []
-        if self._drift_initiator is not None and self.graph.has_vertex(self._drift_initiator):
-            candidates.append(self._drift_initiator)
-        update_initiator = self._pick_initiator(self._committed_tree, update)
-        if self.graph.has_vertex(update_initiator) and update_initiator not in candidates:
-            candidates.append(update_initiator)
-        current_span = sum(1 for p in self.bfs_parent.values() if p is not None) + 1
+            return None, 0
+        _, d1 = bfs_tree(self.graph, initiator)
+        component = list(d1)
+        members = d1.keys()
+        # (candidate, eccentricity) pairs; the initiator's eccentricity falls
+        # out of the BFS just run.
+        evaluated = [(initiator, max(d1.values(), default=0))]
+        if self._voluntary_root == "center":
+            # The 2-sweep midpoint joins the candidate pool rather than
+            # replacing it: on low-diameter graphs an observed initiator can
+            # already sit at the center, and the approximation must never
+            # make the yardstick (or the rebuild root) worse.  ``d1`` doubles
+            # as the approximation's first sweep.
+            if self._drift_seed in members and self._drift_seed != initiator:
+                _, depth = bfs_tree(self.graph, self._drift_seed)
+                evaluated.append((self._drift_seed, max(depth.values(), default=0)))
+            u = farthest_vertex(d1)
+            p2, d2 = bfs_tree(self.graph, u)
+            center = path_midpoint(p2, d2, farthest_vertex(d2))
+            if all(center != c for c, _ in evaluated):
+                _, depth = bfs_tree(self.graph, center)
+                evaluated.append((center, max(depth.values(), default=0)))
+        elif self._drift_initiator in members and self._drift_initiator != initiator:
+            _, depth = bfs_tree(self.graph, self._drift_initiator)
+            evaluated.append((self._drift_initiator, max(depth.values(), default=0)))
         best_depth = None
-        for candidate in candidates:
-            _, depth = bfs_tree(self.graph, candidate)
-            if len(depth) < current_span:
-                continue
-            ecc = max(depth.values(), default=0)
+        best_root = None
+        for candidate, ecc in evaluated:
             if best_depth is None or ecc < best_depth:
-                best_depth = ecc
-                self._drift_initiator = candidate
-        if best_depth is None:
-            return self._as_built_depth
-        return best_depth
+                best_depth, best_root = ecc, candidate
+        if self._voluntary_root == "center":
+            self._drift_seed = best_root
+        else:
+            self._drift_initiator = best_root
+        return component, best_depth
 
     def end_update(self, update: Update) -> None:
+        """Flush the per-update round/message maxima and report the
+        ``depth_drift`` :class:`CostSignal` — *waves × drift*, both measured
+        inside the updated component (see :meth:`_drift_reference`)."""
         self.metrics.observe_max("rounds_per_update", self.network.rounds - self._rounds_before)
         self.metrics.observe_max("messages_per_update", self.network.messages - self._messages_before)
         if self.controller.has_model("depth_drift") and self.bfs_depth:
             # Excess rounds the stale tree charged this update: every
             # pipelined wave (the dissemination broadcast plus a convergecast
             # and a broadcast per query batch) pays the tree's max depth per
-            # chunk, so the drift — current depth minus what a fresh rebuild
-            # would give — was charged once per wave.
-            drift = max(self.bfs_depth.values()) - self._fresh_rebuild_depth(update)
-            if drift > 0:
-                batches = self.metrics["query_batches"] - self._query_batches_before
-                waves = 1 + 2 * batches
-                self.controller.report(CostSignal("depth_drift", waves * drift))
+            # chunk, so the drift — the updated component's current depth
+            # minus what a fresh rebuild of it would give — was charged once
+            # per wave against that component's ledger.
+            component, fresh = self._drift_reference(update)
+            if component is not None:
+                current = max(
+                    (self.bfs_depth[v] for v in component if v in self.bfs_depth),
+                    default=0,
+                )
+                drift = current - fresh
+                if drift > 0:
+                    batches = self.metrics["query_batches"] - self._query_batches_before
+                    waves = 1 + 2 * batches
+                    self.controller.report(CostSignal("depth_drift", waves * drift))
 
 
 class DistributedDynamicDFS:
@@ -590,13 +772,34 @@ class DistributedDynamicDFS:
         Repair mode only: budget (in CONGEST rounds) of the ``depth_drift``
         cost model.  A drifted broadcast tree pays its excess depth on every
         pipelined wave — the backend accumulates that excess (*observed waves
-        × depth drift*) and forces a **voluntary rebuild**
-        (``voluntary_rebuilds``) once it exceeds this budget, re-minimising
-        the depths.  ``None`` (default) models the actual rebuild cost (two
-        waves of the as-built depth, ``~2(D+1)``); ``float("inf")`` disables
-        both voluntary rebuilds and the cost-model repair gate (the
-        pure-repair baseline of benchmark E9, which re-creates the
-        depth-drift regression this model fixes).
+        × depth drift*, inside the updated component) and forces a
+        **voluntary rebuild** (``voluntary_rebuilds``) once it exceeds this
+        budget, re-minimising the depths.  ``None`` (default) models the
+        actual rebuild cost (the flood plus the summary re-broadcast,
+        ``~2(D+1)`` — plus the two accounted center sweeps, ``~4(D+1)``,
+        under ``voluntary_root="center"``); ``float("inf")`` disables both
+        voluntary rebuilds and the cost-model repair gate (the pure-repair
+        baseline of benchmark E9, which re-creates the depth-drift regression
+        this model fixes).
+    voluntary_root:
+        ``"center"`` (default) — a voluntary rebuild runs the 2-sweep BFS
+        center approximation inside the triggering component (two accounted
+        sweeps, ``center_sweeps``) and floods from the midpoint of the
+        approximate diameter path, yielding a tree within a factor 2 of the
+        component radius (``max_voluntary_rebuild_root_depth``).
+        ``"initiator"`` — the legacy policy: flood from the best
+        (minimum-eccentricity) initiator observed since the last rebuild.
+        Benchmark E10 compares the two.
+    component_accounting:
+        When True (default) a rebuild floods one BFS tree per connected
+        component and every wave is charged within the component that
+        executes it (``component_rounds_charged``; see
+        :class:`~repro.distributed.network.CongestNetwork`), so round
+        comparisons stay meaningful when updates fragment the graph.
+        ``False`` restores the legacy accounting — a single flood from the
+        initiator with free dissemination to accounting-only singleton roots
+        elsewhere — as the conservativeness baseline (benchmark E10 asserts
+        per-component accounting never charges less).
     """
 
     def __init__(
@@ -607,6 +810,8 @@ class DistributedDynamicDFS:
         rebuild_every: Optional[int] = 1,
         local_repair: bool = True,
         drift_rebuild_cost: Optional[float] = None,
+        voluntary_root: str = "center",
+        component_accounting: bool = True,
         validate: bool = False,
         metrics: Optional[MetricsRecorder] = None,
     ) -> None:
@@ -632,6 +837,8 @@ class DistributedDynamicDFS:
             self.metrics,
             local_repair=local_repair,
             drift_rebuild_cost=drift_rebuild_cost,
+            voluntary_root=voluntary_root,
+            component_accounting=component_accounting,
         )
         # No initial rebuild: the BFS/broadcast tree is per-update recovery
         # state, not preprocessing — the backend's cache starts broken, so the
@@ -656,6 +863,7 @@ class DistributedDynamicDFS:
 
     @property
     def graph(self) -> UndirectedGraph:
+        """The live graph every node stores a copy of."""
         return self._graph
 
     @property
@@ -684,17 +892,30 @@ class DistributedDynamicDFS:
         """Total CONGEST messages so far."""
         return self.network.messages
 
+    def component_rounds(self) -> Dict[Vertex, int]:
+        """Snapshot of the per-component round ledger (broadcast-tree root at
+        charge time -> rounds that tree spent executing waves).  Sums to at
+        least :meth:`rounds` minus idle chunk rounds on connected graphs and
+        strictly exceeds :meth:`rounds` once waves span several components."""
+        return dict(self.network.component_rounds)
+
     # ------------------------------------------------------------------ #
     def insert_edge(self, u: Vertex, v: Vertex) -> DFSTree:
+        """Insert edge ``(u, v)`` (``O(D + q/B)`` rounds per query batch)."""
         return self.apply(EdgeInsertion(u, v))
 
     def delete_edge(self, u: Vertex, v: Vertex) -> DFSTree:
+        """Delete edge ``(u, v)``; a dead broadcast-tree edge triggers a local
+        repair (``bfs_repairs``) or a rebuild."""
         return self.apply(EdgeDeletion(u, v))
 
     def insert_vertex(self, v: Vertex, neighbors: Iterable[Vertex] = ()) -> DFSTree:
+        """Insert vertex *v* with *neighbors* (an ``O(deg)``-word broadcast)."""
         return self.apply(VertexInsertion(v, tuple(neighbors)))
 
     def delete_vertex(self, v: Vertex) -> DFSTree:
+        """Delete vertex *v*; orphaned broadcast subtrees are repaired or the
+        forest is rebuilt per component."""
         return self.apply(VertexDeletion(v))
 
     def apply(self, update: Update) -> DFSTree:

@@ -13,8 +13,85 @@ from __future__ import annotations
 from typing import Dict, Hashable, List, Optional, Set, Tuple
 
 from repro.graph.graph import UndirectedGraph
+from repro.graph.traversal import bfs_tree
 
 Vertex = Hashable
+
+
+def forest_roots(parent: Dict[Vertex, Optional[Vertex]]) -> Dict[Vertex, Vertex]:
+    """Map every vertex of a parent-pointer forest to the root of its tree.
+
+    Used by the per-component round ledger: a charge for a pipelined wave is
+    attributed to the broadcast tree (identified by its root) that executes
+    it.  Path-compressing walk, ``O(n)`` total.
+    """
+    root_of: Dict[Vertex, Vertex] = {}
+    for v in parent:
+        w = v
+        path: List[Vertex] = []
+        while w not in root_of and parent[w] is not None:
+            path.append(w)
+            w = parent[w]
+        root = root_of.get(w, w)
+        root_of[w] = root
+        for x in path:
+            root_of[x] = root
+    return root_of
+
+
+def farthest_vertex(depth: Dict[Vertex, int]) -> Vertex:
+    """First vertex (in iteration = BFS discovery order) at maximum depth.
+
+    The deterministic tie-break both sweeps of the 2-sweep center
+    approximation rely on: every node sees the same BFS tree, so every node
+    picks the same farthest vertex without extra communication.
+    """
+    best = None
+    best_depth = -1
+    for v, d in depth.items():
+        if d > best_depth:
+            best, best_depth = v, d
+    return best
+
+
+def path_midpoint(
+    parent: Dict[Vertex, Optional[Vertex]],
+    depth: Dict[Vertex, int],
+    endpoint: Vertex,
+) -> Vertex:
+    """Vertex at depth ``ceil(depth(endpoint) / 2)`` on the root path of
+    *endpoint* — the approximate center a 2-sweep BFS settles on (walk up
+    ``floor(d / 2)`` steps from the far endpoint of the second sweep)."""
+    steps = depth[endpoint] // 2
+    v = endpoint
+    for _ in range(steps):
+        v = parent[v]
+    return v
+
+
+def two_sweep_center(graph: UndirectedGraph, seed: Vertex) -> Tuple[Vertex, int]:
+    """2-sweep BFS center approximation of *seed*'s connected component.
+
+    Sweep 1 (BFS from *seed*) finds a farthest vertex ``u``; sweep 2 (BFS from
+    ``u``) finds a farthest vertex ``w`` and an approximate diameter path
+    ``u → w``; the returned center is the midpoint of that path.  Returns
+    ``(center, eccentricity_of_center)``.  Because every vertex's eccentricity
+    is at most the component diameter ``D ≤ 2·radius``, the center's
+    eccentricity is within a factor 2 of the true radius — and in practice the
+    midpoint lands near the true center (exactly, on paths and trees).
+
+    This is the *local* (uncharged) evaluation every node can run from its
+    stored copy of the graph; the distributed backend charges the two sweeps
+    through the network when a voluntary rebuild actually executes them.
+    ``O(n + m)`` per call (three BFS traversals of the component).
+    """
+    _, d1 = bfs_tree(graph, seed)
+    u = farthest_vertex(d1)
+    p2, d2 = bfs_tree(graph, u)
+    w = farthest_vertex(d2)
+    center = path_midpoint(p2, d2, w)
+    _, d3 = bfs_tree(graph, center)
+    return center, max(d3.values(), default=0)
 
 
 def children_index(parent: Dict[Vertex, Optional[Vertex]]) -> Dict[Vertex, List[Vertex]]:

@@ -1,22 +1,36 @@
-"""Synchronous CONGEST(B) network simulator (Section 6.2).
+"""Synchronous CONGEST(B) network simulator (Section 6.2) with a
+per-component round ledger.
 
 A :class:`CongestNetwork` has one node per graph vertex; communication happens
 in synchronous rounds, and in each round a node may send at most ``B`` *words*
 along each incident edge.  The simulator meters
 
-* ``rounds`` — synchronous rounds elapsed,
+* ``rounds`` — synchronous rounds elapsed (components operate concurrently,
+  so one wave over a multi-tree broadcast forest advances the global round
+  counter by the *maximum* per-component schedule length);
 * ``messages`` — messages sent (one message = one (edge, round) transmission),
-* ``max_message_words`` — the largest message, which must stay within ``B``.
+  summed over every component;
+* ``max_message_words`` — the largest message, which must stay within ``B``;
+* ``component_rounds`` — the **per-component ledger**: for every broadcast,
+  convergecast and BFS flood, each broadcast tree (identified by its root) is
+  charged the rounds *it* was busy.  This is what makes round accounting
+  meaningful once the graph fragments: a component no longer rides another
+  component's wave for free — its own dissemination work is attributed to it
+  (``component_rounds_charged`` meters the total, which equals the global
+  ``rounds`` on connected graphs and exceeds it under fragmentation).
 
 Three building blocks used by the distributed dynamic-DFS algorithm are
 implemented on top of the raw round mechanics:
 
-* :meth:`build_bfs_tree` — flooding BFS from a chosen root (``O(D)`` rounds,
-  ``O(m)`` messages), the broadcast tree of the paper;
-* :meth:`pipelined_broadcast` — send ``k`` words from the root to every node
-  along the BFS tree in ``O(depth + k / B)`` rounds (standard pipelining);
+* :meth:`build_bfs_forest` — concurrent flooding BFS from one root per
+  component (``O(max ecc)`` rounds globally, each component charged its own
+  eccentricity, ``O(m)`` messages), the broadcast forest of the paper;
+  :meth:`build_bfs_tree` is the single-root special case;
+* :meth:`pipelined_broadcast` — send ``k`` words from every tree root to
+  every node of its tree in ``O(depth + k / B)`` rounds (standard
+  pipelining, scheduled per component);
 * :meth:`pipelined_convergecast` — combine per-node ``k``-word vectors upward
-  to the root with the same pipelining bound.
+  to each tree root with the same pipelining bound.
 
 The per-round, per-edge budget is enforced: exceeding it raises
 :class:`~repro.exceptions.DistributedError`, so the CONGEST(n/D) message-size
@@ -26,8 +40,9 @@ claim of Theorem 16 is *checked*, not assumed.
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
+from repro.distributed.forest import forest_roots
 from repro.exceptions import DistributedError
 from repro.graph.graph import UndirectedGraph
 from repro.graph.traversal import bfs_tree
@@ -37,7 +52,13 @@ Vertex = Hashable
 
 
 class CongestNetwork:
-    """A synchronous message-passing network over the edges of *graph*."""
+    """A synchronous message-passing network over the edges of *graph*.
+
+    Knobs: ``bandwidth_words`` (the per-edge, per-round word budget ``B``).
+    Counters: ``congest_rounds``, ``congest_messages``,
+    ``max_congest_max_message_words``, ``component_rounds_charged``,
+    ``max_broadcast_components`` (see :data:`repro.metrics.counters.WELL_KNOWN_COUNTERS`).
+    """
 
     def __init__(
         self,
@@ -54,10 +75,14 @@ class CongestNetwork:
         self.rounds = 0
         self.messages = 0
         self.max_message_words = 0
+        #: Cumulative per-component ledger: broadcast-tree root (at charge
+        #: time) -> rounds that component's tree spent executing waves.
+        self.component_rounds: Dict[Vertex, int] = {}
 
     # ------------------------------------------------------------------ #
     @property
     def graph(self) -> UndirectedGraph:
+        """The graph whose edges carry the messages."""
         return self._graph
 
     def _charge_round(self, transmissions: Iterable[int]) -> None:
@@ -74,69 +99,132 @@ class CongestNetwork:
             self.max_message_words = max(self.max_message_words, words)
             self.metrics.observe_max("congest_max_message_words", words)
 
-    # ------------------------------------------------------------------ #
-    def build_bfs_tree(self, root: Vertex) -> Tuple[Dict[Vertex, Optional[Vertex]], Dict[Vertex, int]]:
-        """Flooding BFS from *root*: each frontier node notifies its neighbours.
+    def _charge_component(self, root: Vertex, rounds: int) -> None:
+        """Attribute *rounds* of wave work to the component rooted at *root*."""
+        if rounds <= 0:
+            return
+        self.component_rounds[root] = self.component_rounds.get(root, 0) + rounds
+        self.metrics.inc("component_rounds_charged", rounds)
 
-        Returns ``(parent, depth)`` for the component of *root*.  Costs one
-        round per BFS level and one single-word message per explored edge
-        direction — ``O(D)`` rounds, ``O(m)`` messages.
+    # ------------------------------------------------------------------ #
+    def build_bfs_forest(
+        self, roots: Sequence[Vertex]
+    ) -> Tuple[Dict[Vertex, Optional[Vertex]], Dict[Vertex, int]]:
+        """Concurrent flooding BFS from each of *roots* (one per component).
+
+        All floods advance in lockstep — the network is synchronous, so
+        components explore their frontiers in the same global rounds.  Costs
+        ``max_c (ecc_c + 1)`` global rounds, one single-word message per
+        explored edge direction (``O(m)`` messages overall), and charges each
+        component's ledger its own ``ecc_c + 1`` rounds.  Callers supply at
+        most one root per component; duplicate roots are ignored.
         """
-        parent: Dict[Vertex, Optional[Vertex]] = {root: None}
-        depth: Dict[Vertex, int] = {root: 0}
-        frontier: List[Vertex] = [root]
-        while frontier:
+        parent: Dict[Vertex, Optional[Vertex]] = {}
+        depth: Dict[Vertex, int] = {}
+        frontiers: Dict[Vertex, List[Vertex]] = {}
+        levels: Dict[Vertex, int] = {}
+        for root in roots:
+            if root in parent:
+                continue
+            parent[root] = None
+            depth[root] = 0
+            frontiers[root] = [root]
+            levels[root] = 0
+        while any(frontiers.values()):
             transmissions: List[int] = []
-            nxt: List[Vertex] = []
-            for v in frontier:
-                for w in self._graph.neighbors(v):
-                    transmissions.append(1)
-                    if w not in parent:
-                        parent[w] = v
-                        depth[w] = depth[v] + 1
-                        nxt.append(w)
+            for root, frontier in frontiers.items():
+                if not frontier:
+                    continue
+                nxt: List[Vertex] = []
+                for v in frontier:
+                    for w in self._graph.neighbors(v):
+                        transmissions.append(1)
+                        if w not in parent:
+                            parent[w] = v
+                            depth[w] = depth[v] + 1
+                            nxt.append(w)
+                frontiers[root] = nxt
+                levels[root] += 1
             self._charge_round(transmissions)
-            frontier = nxt
+        for root, spent in levels.items():
+            self._charge_component(root, spent)
+        if frontiers:
+            self.metrics.observe_max("broadcast_components", len(frontiers))
         return parent, depth
 
+    def build_bfs_tree(self, root: Vertex) -> Tuple[Dict[Vertex, Optional[Vertex]], Dict[Vertex, int]]:
+        """Flooding BFS from a single *root* (the component of *root* only).
+
+        ``O(ecc(root))`` rounds — charged globally and to *root*'s component
+        ledger — and ``O(m)`` messages.  The multi-component entry point is
+        :meth:`build_bfs_forest`.
+        """
+        return self.build_bfs_forest([root])
+
     # ------------------------------------------------------------------ #
+    def _component_schedules(
+        self,
+        bfs_parent: Dict[Vertex, Optional[Vertex]],
+        bfs_depth: Dict[Vertex, int],
+    ) -> Tuple[Dict[Vertex, int], Dict[Vertex, Dict[int, int]]]:
+        """Per-component wave schedule of a broadcast forest.
+
+        Returns ``(depth_by_root, edges_at_level_by_root)``: for every tree of
+        the forest (keyed by its root), its depth and its per-level tree-edge
+        counts — the inputs of the pipelined schedule that tree executes.
+        """
+        root_of = forest_roots(bfs_parent)
+        depth_by_root: Dict[Vertex, int] = {}
+        edges_by_root: Dict[Vertex, Dict[int, int]] = {}
+        for v, p in bfs_parent.items():
+            root = root_of[v]
+            d = bfs_depth[v]
+            if d > depth_by_root.get(root, 0):
+                depth_by_root[root] = d
+            if p is not None:
+                levels = edges_by_root.setdefault(root, {})
+                levels[d] = levels.get(d, 0) + 1
+            else:
+                depth_by_root.setdefault(root, 0)
+        return depth_by_root, edges_by_root
+
     def pipelined_broadcast(
         self,
         bfs_parent: Dict[Vertex, Optional[Vertex]],
         bfs_depth: Dict[Vertex, int],
         payload_words: int,
     ) -> None:
-        """Broadcast *payload_words* words from the BFS root to every node.
+        """Broadcast *payload_words* words from every tree root to every node
+        of its tree.
 
-        The payload is split into ``ceil(words / B)`` chunks, sent down the BFS
+        The payload is split into ``ceil(words / B)`` chunks, sent down each
         tree in a pipeline: a node forwards chunk ``i`` to its children one
-        round after receiving it.  Simulated chunk by chunk, round by round.
+        round after receiving it.  All trees of the forest run concurrently;
+        the global round cost is the deepest tree's schedule
+        (``max_depth + chunks - 1``) while each component's ledger is charged
+        its own ``depth_c + chunks - 1``.
         """
         if payload_words <= 0 or len(bfs_parent) <= 1:
             return
-        children: Dict[Vertex, List[Vertex]] = {v: [] for v in bfs_parent}
-        for v, p in bfs_parent.items():
-            if p is not None:
-                children[p].append(v)
         chunks = math.ceil(payload_words / self.bandwidth)
         last_chunk_words = payload_words - (chunks - 1) * self.bandwidth
-        depth = max(bfs_depth.values())
+        depth_by_root, edges_by_root = self._component_schedules(bfs_parent, bfs_depth)
+        total_rounds = max(depth_by_root.values()) + chunks - 1
         # In the pipelined schedule, in round r (1-based) the edges at tree
         # level l forward chunk r - l (if it exists).
-        total_rounds = depth + chunks - 1
-        edges_at_level: Dict[int, int] = {}
-        for v, p in bfs_parent.items():
-            if p is not None:
-                lvl = bfs_depth[v]
-                edges_at_level[lvl] = edges_at_level.get(lvl, 0) + 1
         for r in range(1, total_rounds + 1):
             transmissions: List[int] = []
-            for lvl, count in edges_at_level.items():
-                chunk_index = r - lvl
-                if 1 <= chunk_index <= chunks:
-                    words = self.bandwidth if chunk_index < chunks else last_chunk_words
-                    transmissions.extend([words] * count)
+            for edges_at_level in edges_by_root.values():
+                for lvl, count in edges_at_level.items():
+                    chunk_index = r - lvl
+                    if 1 <= chunk_index <= chunks:
+                        words = self.bandwidth if chunk_index < chunks else last_chunk_words
+                        transmissions.extend([words] * count)
             self._charge_round(transmissions)
+        for root, depth in depth_by_root.items():
+            if depth > 0:
+                self._charge_component(root, depth + chunks - 1)
+        self.metrics.observe_max("broadcast_components", len(depth_by_root))
 
     def pipelined_convergecast(
         self,
@@ -144,33 +232,36 @@ class CongestNetwork:
         bfs_depth: Dict[Vertex, int],
         payload_words: int,
     ) -> None:
-        """Combine a *payload_words*-word vector from every node up to the root.
+        """Combine a *payload_words*-word vector from every node up to its
+        tree root.
 
         Partial aggregates are merged on the way (the combination is by-key
-        minimum/maximum, so the vector size never grows); the schedule is the
-        mirror image of :meth:`pipelined_broadcast`.
+        minimum/maximum, so the vector size never grows); each tree's schedule
+        is the mirror image of :meth:`pipelined_broadcast`, all trees run
+        concurrently, and the ledger attribution matches the broadcast's.
         """
         if payload_words <= 0 or len(bfs_parent) <= 1:
             return
         chunks = math.ceil(payload_words / self.bandwidth)
         last_chunk_words = payload_words - (chunks - 1) * self.bandwidth
-        depth = max(bfs_depth.values())
-        total_rounds = depth + chunks - 1
-        edges_at_level: Dict[int, int] = {}
-        for v, p in bfs_parent.items():
-            if p is not None:
-                lvl = bfs_depth[v]
-                edges_at_level[lvl] = edges_at_level.get(lvl, 0) + 1
+        depth_by_root, edges_by_root = self._component_schedules(bfs_parent, bfs_depth)
+        total_rounds = max(depth_by_root.values()) + chunks - 1
         for r in range(1, total_rounds + 1):
             transmissions: List[int] = []
-            for lvl, count in edges_at_level.items():
-                # Deeper edges transmit earlier; edge at level l sends chunk
-                # r - (depth - l) upward.
-                chunk_index = r - (depth - lvl)
-                if 1 <= chunk_index <= chunks:
-                    words = self.bandwidth if chunk_index < chunks else last_chunk_words
-                    transmissions.extend([words] * count)
+            for root, edges_at_level in edges_by_root.items():
+                depth = depth_by_root[root]
+                for lvl, count in edges_at_level.items():
+                    # Deeper edges transmit earlier; an edge at level l of its
+                    # own tree sends chunk r - (depth_c - l) upward.
+                    chunk_index = r - (depth - lvl)
+                    if 1 <= chunk_index <= chunks:
+                        words = self.bandwidth if chunk_index < chunks else last_chunk_words
+                        transmissions.extend([words] * count)
             self._charge_round(transmissions)
+        for root, depth in depth_by_root.items():
+            if depth > 0:
+                self._charge_component(root, depth + chunks - 1)
+        self.metrics.observe_max("broadcast_components", len(depth_by_root))
 
     # ------------------------------------------------------------------ #
     def aggregate_query_round(
@@ -180,7 +271,7 @@ class CongestNetwork:
         num_queries: int,
     ) -> None:
         """Account one full query round: convergecast the ``num_queries`` partial
-        answers (one word each) to the root, then broadcast the combined
+        answers (one word each) to each tree root, then broadcast the combined
         answers back to every node."""
         self.pipelined_convergecast(bfs_parent, bfs_depth, num_queries)
         self.pipelined_broadcast(bfs_parent, bfs_depth, num_queries)

@@ -102,8 +102,10 @@ WELL_KNOWN_COUNTERS: Dict[str, str] = {
     "max_passes_per_update": "worst stream passes one update needed",
     "max_stream_state_entries": "largest per-pass working state (vertices) one query batch needed",
     # Distributed CONGEST (Theorem 16)
-    "congest_rounds": "synchronous CONGEST rounds simulated",
+    "congest_rounds": "synchronous CONGEST rounds simulated (components run concurrently: one wave advances this by the deepest component's schedule)",
     "congest_messages": "CONGEST messages sent (one per edge per round)",
+    "component_rounds_charged": "per-component ledger rounds (each broadcast tree charged its own wave schedule; equals congest_rounds on connected graphs, exceeds it under fragmentation)",
+    "max_broadcast_components": "most trees the broadcast forest held during one charged wave or flood",
     "max_congest_max_message_words": "largest CONGEST message observed (words)",
     "max_rounds_per_update": "worst CONGEST rounds one update needed",
     "max_messages_per_update": "worst CONGEST messages one update needed",
@@ -112,6 +114,8 @@ WELL_KNOWN_COUNTERS: Dict[str, str] = {
     "bfs_repair_fallbacks": "local repairs abandoned for a full rebuild (orphaned subtree disconnected, or the cheapest reattachment's depth drift alone would exceed the modeled rebuild cost)",
     "max_bfs_repair_subtree_depth": "deepest orphaned subtree a local repair reattached",
     "voluntary_rebuilds": "depth-aware voluntary BFS rebuilds (accumulated query-wave x depth-drift rounds exceeded the modeled O(D) rebuild cost)",
+    "center_sweeps": "accounted BFS sweeps charged by the 2-sweep center approximation ahead of a voluntary rebuild (two per center-rooted rebuild)",
+    "max_voluntary_rebuild_root_depth": "deepest broadcast forest a voluntary rebuild left behind (center-rooted rebuilds approach the component radius)",
     # PRAM simulation
     "pram_depth": "simulated PRAM depth (parallel time)",
     "pram_work": "simulated PRAM work (total operations)",

@@ -343,15 +343,19 @@ class SemiStreamingDynamicDFS:
 
     # ------------------------------------------------------------------ #
     def insert_edge(self, u: Vertex, v: Vertex) -> DFSTree:
+        """Insert edge ``(u, v)`` (``O(1)`` passes amortized; ``stream_passes``)."""
         return self.apply(EdgeInsertion(u, v))
 
     def delete_edge(self, u: Vertex, v: Vertex) -> DFSTree:
+        """Delete edge ``(u, v)`` from the stream and repair the tree."""
         return self.apply(EdgeDeletion(u, v))
 
     def insert_vertex(self, v: Vertex, neighbors: Iterable[Vertex] = ()) -> DFSTree:
+        """Insert vertex *v* with *neighbors* appended to the stream."""
         return self.apply(VertexInsertion(v, tuple(neighbors)))
 
     def delete_vertex(self, v: Vertex) -> DFSTree:
+        """Delete vertex *v* and every incident stream edge."""
         return self.apply(VertexDeletion(v))
 
     def apply(self, update: Update) -> DFSTree:

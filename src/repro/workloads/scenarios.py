@@ -3,10 +3,11 @@ benchmarks (EXPERIMENTS.md) and the example applications."""
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Callable, Dict, List
 
-from repro.core.updates import Update
+from repro.core.updates import EdgeDeletion, EdgeInsertion, Update
 from repro.graph.generators import (
     broom_graph,
     caterpillar_graph,
@@ -142,6 +143,67 @@ def _sustained_churn(n: int, seed: int, updates: int) -> Scenario:
     )
 
 
+def _fragmenting_churn(n: int, seed: int, updates: int) -> Scenario:
+    """Clusters joined by bridges, with the bridges cut (and later restored)
+    while edge churn keeps hitting the clusters on *both* sides of the cut.
+
+    This is the workload per-component CONGEST round accounting exists for
+    (benchmark E10): whenever a bridge is down the graph is genuinely
+    disconnected, updates land in either fragment, and every dissemination or
+    repair wave must be charged inside the fragment that executes it — under
+    the legacy accounting the non-initiator fragment rode along for free, so
+    repair-vs-rebuild comparisons degenerated.  Construction: ``k`` cycle
+    clusters with chords (each cluster stays connected under chord churn
+    because its cycle is never touched), consecutive clusters joined by one
+    bridge; the update stream round-robins over bridges — cut a bridge,
+    churn chords in randomly chosen clusters while the graph is split, then
+    restore the bridge and move to the next one.
+    """
+    clusters = 3
+    size = max(n // clusters, 8)
+    rng = random.Random(seed)
+    graph = UndirectedGraph(vertices=range(clusters * size))
+    chords: List[List[tuple]] = []
+    for c in range(clusters):
+        base = c * size
+        for i in range(size):
+            graph.add_edge(base + i, base + (i + 1) % size)
+        cluster_chords: List[tuple] = []
+        for _ in range(max(size // 3, 2)):
+            i, j = rng.sample(range(size), 2)
+            u, v = base + i, base + j
+            if not graph.has_edge(u, v):
+                graph.add_edge(u, v)
+                cluster_chords.append((u, v))
+        if not cluster_chords:  # rng collided every draw: pin one chord
+            u, v = base, base + size // 2
+            graph.add_edge(u, v)
+            cluster_chords.append((u, v))
+        chords.append(cluster_chords)
+    bridges = [((c + 1) * size - 1, (c + 1) * size) for c in range(clusters - 1)]
+    for u, v in bridges:
+        graph.add_edge(u, v)
+    ups: List[Update] = []
+    bridge_index = 0
+    while len(ups) < updates:
+        u, v = bridges[bridge_index % len(bridges)]
+        bridge_index += 1
+        ups.append(EdgeDeletion(u, v))  # the graph is now disconnected
+        for _ in range(3):  # churn both fragments while split
+            cluster_chords = chords[rng.randrange(clusters)]
+            x, y = cluster_chords[rng.randrange(len(cluster_chords))]
+            ups.append(EdgeDeletion(x, y))
+            ups.append(EdgeInsertion(x, y))
+        ups.append(EdgeInsertion(u, v))  # restore the bridge
+    return Scenario(
+        name="fragmenting_churn",
+        description="bridged clusters whose bridges are cut and restored while "
+        "chord churn hits both fragments (per-component accounting showcase)",
+        graph=graph,
+        updates=ups[:updates],
+    )
+
+
 SCENARIOS: Dict[str, Callable[[int, int, int], Scenario]] = {
     "social_network_churn": _social_network,
     "datacenter_link_flaps": _datacenter_links,
@@ -151,6 +213,7 @@ SCENARIOS: Dict[str, Callable[[int, int, int], Scenario]] = {
     "caterpillar_mixed": _caterpillar_mixed,
     "long_path": _long_path,
     "sustained_churn": _sustained_churn,
+    "fragmenting_churn": _fragmenting_churn,
 }
 
 

@@ -1,0 +1,227 @@
+"""Per-component CONGEST round accounting + the 2-sweep center approximation.
+
+Three layers of guarantees:
+
+* **Network ledger mechanics** — :meth:`CongestNetwork.build_bfs_forest`
+  floods every component concurrently (global rounds = deepest component's
+  schedule) while the per-component ledger charges each broadcast tree its
+  own rounds; the pipelined waves attribute their schedules the same way.
+
+* **Conservativeness** (property) — per-component charging never undercharges
+  the legacy free-dissemination accounting: on any generated workload the
+  ``component_accounting=True`` driver spends at least the rounds of its
+  legacy twin (with byte-identical DFS trees throughout), and exactly the
+  same rounds when the graph never fragments — connected components were
+  never undercharged before, so on connected graphs nothing may change.
+
+* **2-sweep center quality** (property) — the root picked by
+  :func:`two_sweep_center` has eccentricity at most twice the component's
+  true radius on generated graphs, and the returned eccentricity is exact.
+"""
+
+from __future__ import annotations
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from tests.test_adaptive_policies import _connectivity_preserving_churn, churn_cases
+from repro.core.updates import EdgeDeletion, EdgeInsertion
+from repro.distributed.distributed_dfs import DistributedDynamicDFS
+from repro.distributed.forest import forest_roots, two_sweep_center
+from repro.distributed.network import CongestNetwork
+from repro.graph.generators import gnm_random_graph, path_graph
+from repro.graph.graph import UndirectedGraph
+from repro.graph.traversal import bfs_tree, connected_components
+from repro.metrics.counters import MetricsRecorder
+from repro.workloads.scenarios import build_scenario
+
+SETTINGS = settings(max_examples=20, deadline=None)
+
+
+def _two_component_graph():
+    """A path 0-1-2-3 and a triangle 10-11-12 (disjoint)."""
+    g = UndirectedGraph(vertices=[0, 1, 2, 3, 10, 11, 12])
+    for u, v in [(0, 1), (1, 2), (2, 3), (10, 11), (11, 12), (10, 12)]:
+        g.add_edge(u, v)
+    return g
+
+
+# --------------------------------------------------------------------------- #
+# Network ledger mechanics
+# --------------------------------------------------------------------------- #
+def test_build_bfs_forest_charges_each_component_its_own_flood():
+    g = _two_component_graph()
+    net = CongestNetwork(g, bandwidth_words=4)
+    parent, depth = net.build_bfs_forest([0, 10])
+    assert set(parent) == set(g.vertices())
+    # Global rounds: the floods run concurrently, so the path component's
+    # eccentricity (3 -> 4 frontier rounds) dominates the triangle's (2).
+    assert net.rounds == 4
+    # Ledger: each component charged its own levels.
+    assert net.component_rounds == {0: 4, 10: 2}
+    # One message per explored edge direction, in *every* component.
+    assert net.messages == 2 * g.num_edges
+    # roots map every vertex to its flood root
+    roots = forest_roots(parent)
+    assert roots == {0: 0, 1: 0, 2: 0, 3: 0, 10: 10, 11: 10, 12: 10}
+
+
+def test_pipelined_waves_attribute_rounds_per_component():
+    g = _two_component_graph()
+    net = CongestNetwork(g, bandwidth_words=1)
+    parent, depth = net.build_bfs_forest([0, 10])
+    flood_ledger = dict(net.component_rounds)
+    before = net.rounds
+    net.pipelined_broadcast(parent, depth, payload_words=3)  # 3 chunks
+    # Global: deepest tree (depth 3) + chunks - 1.
+    assert net.rounds - before == 3 + 3 - 1
+    # Ledger: the shallow triangle (depth 1) finishes its own schedule early.
+    wave = {r: net.component_rounds[r] - flood_ledger.get(r, 0) for r in net.component_rounds}
+    assert wave == {0: 3 + 3 - 1, 10: 1 + 3 - 1}
+    before = net.rounds
+    net.pipelined_convergecast(parent, depth, payload_words=3)
+    assert net.rounds - before == 3 + 3 - 1
+    wave = {r: net.component_rounds[r] - flood_ledger.get(r, 0) for r in net.component_rounds}
+    assert wave == {0: 2 * (3 + 3 - 1), 10: 2 * (1 + 3 - 1)}
+    # The strict recorder metered exactly what the ledger accumulated.
+    assert net.metrics["component_rounds_charged"] == sum(net.component_rounds.values())
+    assert net.metrics["max_broadcast_components"] == 2
+
+
+def test_singleton_components_are_never_charged():
+    g = UndirectedGraph(vertices=[0, 1, 2, 99])  # 99 is isolated
+    g.add_edge(0, 1)
+    g.add_edge(1, 2)
+    net = CongestNetwork(g, bandwidth_words=2)
+    parent, depth = net.build_bfs_forest([0, 99])
+    net.component_rounds.clear()
+    net.pipelined_broadcast(parent, depth, payload_words=2)
+    # The isolated root has no edges: no wave work is attributed to it.
+    assert 99 not in net.component_rounds
+    assert 0 in net.component_rounds
+
+
+# --------------------------------------------------------------------------- #
+# Conservativeness of per-component charging
+# --------------------------------------------------------------------------- #
+def _run_pair(graph, updates, **kwargs):
+    """Drive a per-component and a legacy-accounting driver in lockstep,
+    asserting byte-identical trees; returns their (rounds, rounds) totals."""
+    strict = MetricsRecorder("component", strict=True)
+    component = DistributedDynamicDFS(
+        graph, rebuild_every=None, component_accounting=True, metrics=strict, **kwargs
+    )
+    legacy = DistributedDynamicDFS(
+        graph, rebuild_every=None, component_accounting=False, **kwargs
+    )
+    for step, update in enumerate(updates):
+        component.apply(update)
+        legacy.apply(update)
+        assert component.parent_map() == legacy.parent_map(), f"diverged at {step}"
+    return component.rounds(), legacy.rounds()
+
+
+@SETTINGS
+@given(churn_cases(max_n=16, max_updates=10))
+def test_per_component_charging_is_conservative(case):
+    """``component_accounting=True`` never charges fewer total rounds than the
+    legacy accounting on the same update sequence — fragments stop riding
+    other components' waves for free, they never get a discount."""
+    graph, updates = case
+    # local_repair=False isolates the ledger comparison: both drivers rebuild
+    # at exactly the same updates, so the only difference is what a rebuild
+    # floods (and what a wave charges) — the accounting itself.
+    component_rounds, legacy_rounds = _run_pair(graph, updates, local_repair=False)
+    assert component_rounds >= legacy_rounds, (component_rounds, legacy_rounds)
+
+
+@SETTINGS
+@given(churn_cases(max_n=16, max_updates=10))
+def test_connected_components_were_never_undercharged(case):
+    """On workloads that keep the graph connected the two accountings agree
+    exactly: the legacy mode never undercharged a *connected* component, so
+    per-component charging must not change it."""
+    graph, raw_updates = case
+    updates = _connectivity_preserving_churn(graph, len(raw_updates), seed=17)
+    assume(updates)
+    assume(len(connected_components(graph)) == 1)
+    component_rounds, legacy_rounds = _run_pair(graph, updates, local_repair=False)
+    assert component_rounds == legacy_rounds
+
+
+def test_fragmented_rebuild_charges_strictly_more_than_legacy():
+    """Deterministic strict case: cutting the bridge between two triangles
+    forces a rebuild while the graph is split — the per-component accounting
+    must flood (and charge) the far triangle, the legacy accounting leaves it
+    as free singleton roots."""
+    g = UndirectedGraph(vertices=range(6))
+    for u, v in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]:
+        g.add_edge(u, v)
+    component_rounds, legacy_rounds = _run_pair(
+        g,
+        [  # cut the bridge, then churn an edge inside each fragment
+            EdgeDeletion(2, 3),
+            EdgeDeletion(0, 1),
+            EdgeInsertion(0, 1),
+            EdgeDeletion(3, 4),
+            EdgeInsertion(3, 4),
+        ],
+    )
+    assert component_rounds > legacy_rounds, (component_rounds, legacy_rounds)
+
+
+def test_fragmenting_churn_scenario_really_fragments():
+    """The E10 scenario replays cleanly on the distributed driver and its
+    broadcast forest really splits into multiple per-component trees."""
+    scenario = build_scenario("fragmenting_churn", n=48, seed=3, updates=20)
+    metrics = MetricsRecorder("frag", strict=True)
+    driver = DistributedDynamicDFS(scenario.graph, rebuild_every=None, metrics=metrics)
+    driver.apply_all(scenario.updates)
+    assert driver.is_valid()
+    assert metrics["max_broadcast_components"] >= 2
+    assert sum(driver.component_rounds().values()) == metrics["component_rounds_charged"]
+
+
+# --------------------------------------------------------------------------- #
+# 2-sweep center quality
+# --------------------------------------------------------------------------- #
+@st.composite
+def small_graphs(draw, max_n=14):
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    max_m = n * (n - 1) // 2
+    m = draw(st.integers(min_value=n - 1, max_value=max_m))
+    seed = draw(st.integers(min_value=0, max_value=999))
+    graph = gnm_random_graph(n, m, seed=seed)
+    seed_vertex = draw(st.sampled_from(sorted(graph.vertices())))
+    return graph, seed_vertex
+
+
+@SETTINGS
+@given(small_graphs())
+def test_two_sweep_center_within_factor_two_of_radius(case):
+    """The 2-sweep root's eccentricity is exact, at most the component's
+    diameter, and therefore at most twice its true radius."""
+    graph, seed_vertex = case
+    center, ecc = two_sweep_center(graph, seed_vertex)
+    _, seed_depth = bfs_tree(graph, seed_vertex)
+    component = set(seed_depth)
+    assert center in component
+    # Reported eccentricity is exact.
+    _, center_depth = bfs_tree(graph, center)
+    assert ecc == max(center_depth.values(), default=0)
+    # Brute-force radius/diameter of the component.
+    eccentricities = []
+    for v in component:
+        _, depth = bfs_tree(graph, v)
+        eccentricities.append(max(depth.values(), default=0))
+    radius = min(eccentricities)
+    diameter = max(eccentricities)
+    assert ecc <= diameter <= 2 * radius
+    assert ecc <= 2 * radius
+
+
+def test_two_sweep_center_is_exact_on_paths():
+    graph = path_graph(31)
+    center, ecc = two_sweep_center(graph, 0)
+    assert center == 15
+    assert ecc == 15  # the true radius of a 31-path

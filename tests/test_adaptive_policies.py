@@ -36,7 +36,7 @@ from repro.core.updates import EdgeDeletion
 from repro.distributed.distributed_dfs import DistributedDynamicDFS
 from repro.graph.generators import gnm_random_graph, path_graph
 from repro.graph.graph import UndirectedGraph
-from repro.graph.traversal import bfs_tree
+from repro.graph.traversal import bfs_tree, component_of
 from repro.metrics.counters import MetricsRecorder
 from repro.workloads.scenarios import build_scenario
 from repro.workloads.updates import edge_churn
@@ -290,19 +290,28 @@ def test_disconnected_subtree_falls_back_to_rebuild():
 # --------------------------------------------------------------------------- #
 # Depth-aware voluntary rebuilds (the depth_drift cost model)
 # --------------------------------------------------------------------------- #
-def _observed_drift_contribution(backend, graph, delta):
+def _observed_drift_contribution(backend, graph, update, delta):
     """Independently recompute the update's depth-drift signal: *waves ×
-    drift*, with the reference depth re-derived from the initiator the
-    account settled on (``_drift_initiator``), exactly as the backend's
-    ``end_update`` computed it."""
+    drift*, both measured inside the updated component, with the reference
+    depth re-derived from the 2-sweep center of that component — exactly as
+    the backend's ``end_update`` computed it."""
     if not backend.bfs_depth:
         return 0
-    if backend._drift_initiator is not None and graph.has_vertex(backend._drift_initiator):
-        _, depth = bfs_tree(graph, backend._drift_initiator)
-        reference = max(depth.values(), default=0)
-    else:
-        reference = backend._as_built_depth
-    drift = max(backend.bfs_depth.values()) - reference
+    initiator = backend._pick_initiator(backend._committed_tree, update)
+    if not graph.has_vertex(initiator):
+        return 0
+    component = component_of(graph, initiator)
+    # The yardstick the account settled on: the min-eccentricity root among
+    # the 2-sweep midpoint, the update initiator and the remembered best —
+    # re-derived here from the seed the backend recorded (its eccentricity is
+    # exactly the fresh-rebuild depth end_update measured the drift against).
+    seed = backend._drift_seed
+    if seed is None or not graph.has_vertex(seed):
+        return 0
+    _, seed_depth = bfs_tree(graph, seed)
+    reference = max(seed_depth.values(), default=0)
+    current = max((backend.bfs_depth[v] for v in component if v in backend.bfs_depth), default=0)
+    drift = current - reference
     if drift <= 0:
         return 0
     waves = 1 + 2 * delta.get("query_batches", 0)
@@ -336,7 +345,7 @@ def test_voluntary_rebuild_fires_iff_account_exceeds_budget(case):
         if due:
             assert delta.get("cost_model_triggers", 0) == 1
             assert delta.get("service_rebuilds", 0) >= 1
-        contribution = _observed_drift_contribution(backend, driver.graph, delta)
+        contribution = _observed_drift_contribution(backend, driver.graph, update, delta)
         if delta.get("service_rebuilds", 0) >= 1:
             shadow = contribution  # rebuild reset the account mid-update
         else:

@@ -177,6 +177,22 @@ DIFFERENTIAL_COMBOS = [
             metrics=m,
         ),
     ),
+    # Per-component accounting configurations (PR 5): charging waves inside
+    # the component that executes them — or the legacy free-dissemination
+    # accounting, or the initiator-rooted voluntary rebuild — changes the
+    # round ledger and the broadcast roots, never the maintained tree.
+    (
+        "dist_auto_legacy_accounting",
+        lambda g, m: DistributedDynamicDFS(
+            g, rebuild_every=None, local_repair=True, component_accounting=False, metrics=m
+        ),
+    ),
+    (
+        "dist_auto_initiator_root",
+        lambda g, m: DistributedDynamicDFS(
+            g, rebuild_every=None, local_repair=True, voluntary_root="initiator", metrics=m
+        ),
+    ),
 ]
 
 

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Generate ``docs/counters.md`` from the ``WELL_KNOWN_COUNTERS`` registry.
+
+The registry in :mod:`repro.metrics.counters` is the single source of truth
+for every counter name the engines agree on (``MetricsRecorder(strict=True)``
+rejects anything else, and the cross-driver harness drives every driver
+strict).  This script renders it as a markdown glossary so dashboards and
+benchmark readers do not have to read the source; a tier-1 test
+(``tests/metrics/test_counters_doc.py``) regenerates the document and fails
+when the committed file drifts from the registry.
+
+Usage::
+
+    PYTHONPATH=src python tools/gen_counters_doc.py          # (re)write docs/counters.md
+    PYTHONPATH=src python tools/gen_counters_doc.py --check  # exit 1 on drift (CI)
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.metrics.counters import WELL_KNOWN_COUNTERS  # noqa: E402
+
+OUTPUT = REPO_ROOT / "docs" / "counters.md"
+
+HEADER = """\
+<!-- GENERATED FILE - do not edit by hand.
+     Regenerate with: PYTHONPATH=src python tools/gen_counters_doc.py -->
+
+# Counters glossary
+
+Every counter, maximum and timer the engines record, generated from
+`repro.metrics.counters.WELL_KNOWN_COUNTERS` — the registry is *complete*: a
+`MetricsRecorder(strict=True)` rejects recording under any other key, and the
+cross-driver differential harness drives every driver strict, so this
+glossary cannot drift from the code (see `tests/metrics/test_counters_doc.py`).
+
+Conventions: plain names accumulate via `inc()`; `max_`-prefixed names keep
+the maximum observed value via `observe_max()`; `time_`-prefixed names
+accumulate wall-clock seconds (informational only — the headline
+measurements are model quantities, never timers).
+
+| counter | measures |
+| --- | --- |
+"""
+
+
+def render() -> str:
+    """The full markdown document, one table row per registered counter."""
+    rows = [
+        f"| `{name}` | {description} |"
+        for name, description in WELL_KNOWN_COUNTERS.items()
+    ]
+    return HEADER + "\n".join(rows) + "\n"
+
+
+def main(argv: list) -> int:
+    text = render()
+    if "--check" in argv:
+        if not OUTPUT.exists() or OUTPUT.read_text() != text:
+            print(
+                f"{OUTPUT} is out of sync with WELL_KNOWN_COUNTERS; "
+                "regenerate with: PYTHONPATH=src python tools/gen_counters_doc.py",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"{OUTPUT} is in sync ({len(WELL_KNOWN_COUNTERS)} counters)")
+        return 0
+    OUTPUT.parent.mkdir(parents=True, exist_ok=True)
+    OUTPUT.write_text(text)
+    print(f"wrote {OUTPUT} ({len(WELL_KNOWN_COUNTERS)} counters)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
