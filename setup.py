@@ -1,10 +1,23 @@
-"""Thin setup.py shim.
+"""Packaging for the dynamic-DFS reproduction.
 
-The canonical project metadata lives in ``pyproject.toml``; this file exists so
-that ``pip install -e .`` also works on environments without the ``wheel``
-package (legacy ``--no-use-pep517`` editable installs).
+``numpy`` is a hard install dependency: the ``backend="array"`` flat/CSR core
+needs it, and installs should get the fast paths by default.  The *code* still
+degrades gracefully — the dict backend never imports numpy, and selecting the
+array backend on a numpy-free environment raises a clean
+``repro.exceptions.BackendUnavailable`` (CI's no-numpy job pins that).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-dynamic-dfs",
+    version="0.6.0",
+    description="Reproduction of fully dynamic DFS (Khan, SPAA'17) with dict and numpy array backends",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    extras_require={
+        "test": ["pytest", "pytest-benchmark", "hypothesis"],
+    },
+)

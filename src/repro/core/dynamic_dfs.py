@@ -55,6 +55,7 @@ from __future__ import annotations
 from math import isqrt
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence
 
+from repro.backends import native_graph, resolve_backend, structure_class
 from repro.constants import VIRTUAL_ROOT
 from repro.core.engine import Backend, UpdateEngine
 from repro.core.maintenance import CostModel, CostSignal, MaintenanceController
@@ -100,6 +101,7 @@ class DStructureBackend(Backend):
         *,
         d_maintenance: str = "rebuild",
         rebase_segment_threshold: Optional[float] = None,
+        structure_cls: type = StructureD,
     ) -> None:
         if d_maintenance not in ("rebuild", "absorb"):
             raise ValueError(f"unknown d_maintenance {d_maintenance!r}")
@@ -110,6 +112,7 @@ class DStructureBackend(Backend):
         self.graph = graph
         self.metrics = metrics
         self.structure: Optional[StructureD] = None
+        self._structure_cls = structure_cls
         self._d_maintenance = d_maintenance
         self._rebase_segment_threshold = rebase_segment_threshold
         # Cost-model maintenance: the Theorem 9 overlay budget drives the
@@ -163,7 +166,7 @@ class DStructureBackend(Backend):
             self.metrics.inc("d_rebases")
             self.metrics.inc(f"d_rebase_trigger_{trigger}")
         with self.metrics.timer("build_d"):
-            self.structure = StructureD(self.graph, tree, metrics=self.metrics)
+            self.structure = self._structure_cls(self.graph, tree, metrics=self.metrics)
         self.controller.on_refresh()
 
     def must_rebuild(self, update: Update) -> bool:
@@ -228,6 +231,14 @@ class FullyDynamicDFS:
     ----------
     graph:
         Initial graph.  It is copied unless ``copy_graph=False``.
+    backend:
+        Storage core: ``"dict"`` (the reference implementation, default) or
+        ``"array"`` (numpy flat/CSR core — same results byte for byte, built
+        for large graphs; requires numpy).  ``None`` reads the
+        ``REPRO_BACKEND`` environment variable, falling back to ``"dict"``.
+        With ``backend="array"`` the input graph is converted to an
+        :class:`~repro.graph.array_graph.ArrayGraph` (always a copy unless it
+        already is one and ``copy_graph=False``).
     engine:
         ``"parallel"`` (the paper's algorithm) or ``"sequential"`` (the Baswana
         et al. baseline).
@@ -276,6 +287,7 @@ class FullyDynamicDFS:
         self,
         graph: UndirectedGraph,
         *,
+        backend: Optional[str] = None,
         engine: str = "parallel",
         service: str = "d",
         rebuild_every: Optional[int] = None,
@@ -287,6 +299,7 @@ class FullyDynamicDFS:
     ) -> None:
         # Fail fast on every knob before copying the graph or running the
         # initial DFS, so a bad argument never records partial work.
+        backend_name = resolve_backend(backend)
         UpdateEngine.validate_options(engine, rebuild_every)
         if service not in ("d", "brute"):
             raise ValueError(f"unknown service {service!r}")
@@ -294,23 +307,25 @@ class FullyDynamicDFS:
             raise ValueError('d_maintenance requires service="d"')
         if rebase_segment_threshold is not None and d_maintenance != "absorb":
             raise ValueError('rebase_segment_threshold requires d_maintenance="absorb"')
-        self._graph = graph.copy() if copy_graph else graph
+        self._backend_name = backend_name
+        self._graph = native_graph(graph, backend_name, copy=copy_graph)
         self.metrics = metrics or MetricsRecorder("dynamic_dfs")
         with self.metrics.timer("initial_dfs"):
             parent = static_dfs_forest(self._graph)
         tree = DFSTree(parent, root=VIRTUAL_ROOT)
         if service == "d":
-            backend: Backend = DStructureBackend(
+            backend_impl: Backend = DStructureBackend(
                 self._graph,
                 self.metrics,
                 d_maintenance=d_maintenance,
                 rebase_segment_threshold=rebase_segment_threshold,
+                structure_cls=structure_class(backend_name),
             )
         else:
-            backend = BruteBackend(self._graph, self.metrics)
-        self._backend = backend
+            backend_impl = BruteBackend(self._graph, self.metrics)
+        self._backend = backend_impl
         self._engine = UpdateEngine(
-            backend,
+            backend_impl,
             tree,
             rebuild_every=rebuild_every,
             reroot_engine=engine,
@@ -335,6 +350,11 @@ class FullyDynamicDFS:
     def rebuild_every(self) -> Optional[int]:
         """The configured rebuild period (``None`` = auto-tuned)."""
         return self._engine.rebuild_every
+
+    @property
+    def backend(self) -> str:
+        """The resolved storage backend name (``"dict"`` or ``"array"``)."""
+        return self._backend_name
 
     @property
     def update_engine(self) -> UpdateEngine:

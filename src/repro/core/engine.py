@@ -248,6 +248,14 @@ class UpdateEngine:
         """The configured rebuild period (``None`` = auto-tuned)."""
         return self._rebuild_every
 
+    @property
+    def storage_backend(self) -> str:
+        """Storage core of the backend's live graph: ``"array"`` when the flat
+        CSR mirror is present (:class:`repro.graph.array_graph.ArrayGraph`),
+        ``"dict"`` otherwise.  Purely observational — the pipeline is
+        backend-agnostic and both cores maintain byte-identical trees."""
+        return "array" if getattr(self.backend.graph, "is_array_backend", False) else "dict"
+
     def parent_map(self, *, include_virtual_root: bool = True) -> Dict[Vertex, Optional[Vertex]]:
         """Parent map of the maintained DFS forest."""
         parent = self._tree.parent_map()

@@ -29,6 +29,7 @@ from __future__ import annotations
 import math
 from typing import Hashable, Optional, Sequence, Tuple
 
+from repro.backends import native_graph, resolve_backend, structure_class
 from repro.constants import VIRTUAL_ROOT
 from repro.core.engine import Backend, UpdateEngine
 from repro.core.overlay import apply_update
@@ -83,6 +84,10 @@ class FaultTolerantDFS:
     ----------
     graph:
         The graph to preprocess (copied).
+    backend:
+        Storage core: ``"dict"`` (default), ``"array"`` (numpy flat/CSR core,
+        byte-identical answers) or ``None`` to read the ``REPRO_BACKEND``
+        environment variable.
     validate:
         Check every produced tree with the DFS validator (tests enable this).
     metrics:
@@ -104,18 +109,27 @@ class FaultTolerantDFS:
         self,
         graph: UndirectedGraph,
         *,
+        backend: Optional[str] = None,
         validate: bool = False,
         metrics: Optional[MetricsRecorder] = None,
     ) -> None:
-        self._graph0 = graph.copy()
+        self._backend_name = resolve_backend(backend)
+        self._graph0 = native_graph(graph, self._backend_name, copy=True)
         self._validate = validate
         self.metrics = metrics or MetricsRecorder("fault_tolerant_dfs")
         with self.metrics.timer("preprocess"):
             parent = static_dfs_forest(self._graph0)
             self._tree0 = DFSTree(parent, root=VIRTUAL_ROOT)
-            self._structure = StructureD(self._graph0, self._tree0, metrics=self.metrics)
+            self._structure = structure_class(self._backend_name)(
+                self._graph0, self._tree0, metrics=self.metrics
+            )
 
     # ------------------------------------------------------------------ #
+    @property
+    def backend(self) -> str:
+        """The resolved storage backend name (``"dict"`` or ``"array"``)."""
+        return self._backend_name
+
     @property
     def base_tree(self) -> DFSTree:
         """The preprocessed DFS tree ``T_0``."""

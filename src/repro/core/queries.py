@@ -341,6 +341,37 @@ class DQueryService(QueryService):
             return (canonical, t_star)
         return best
 
+    def canonical_sources(
+        self, items: Sequence[Tuple[Vertex, Vertex]]
+    ) -> List[Optional[Vertex]]:
+        """Batch canonical re-anchors for subtree pieces of the base tree.
+
+        For each ``(t_star, source_root)`` pair, returns the vertex of the
+        piece ``T(source_root)`` with the smallest base-tree post-order number
+        among those with an alive edge to ``t_star`` (``None`` when the piece
+        has no alive edge to it) — the same re-anchor
+        :meth:`_canonical_answer` computes one query at a time, exposed as a
+        batch so the array backend can serve the whole overlay-service sweep
+        with one ``np.searchsorted`` (:meth:`StructureD
+        <repro.core.structure_d.StructureD.min_post_alive_neighbor_batch>`).
+        Probes are counted once per batch under ``d_reanchor_probes``
+        (``max(total probes, 1)``); answers are backend-independent.
+        """
+        tree = self._tree
+        us: List[Vertex] = []
+        los: List[int] = []
+        his: List[int] = []
+        for t_star, root in items:
+            hi = tree.postorder(root)
+            lo = hi - tree.subtree_size(root) + 1
+            us.append(t_star)
+            los.append(lo)
+            his.append(hi)
+        best, probes = self._d.min_post_alive_neighbor_batch(us, los, his)
+        if self._metrics is not None and items:
+            self._metrics.inc("d_reanchor_probes", max(probes, 1))
+        return best
+
     def _probe_segment(
         self, q: EdgeQuery, seg: List[Vertex], pos: Dict[Vertex, int], source_list: List[Vertex]
     ) -> Answer:

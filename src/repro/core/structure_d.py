@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
 from itertools import chain
-from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.exceptions import VertexNotFound
 from repro.graph.graph import UndirectedGraph
@@ -113,6 +113,26 @@ class StructureD:
             self._metrics.inc("d_builds")
             self._metrics.inc("d_build_work", total_work)
 
+    def _row(self, u: Vertex):
+        """Base sorted row of *u* as ``(posts, nbrs)``, or ``None`` if unindexed.
+
+        The single access point every query goes through: the dict backend
+        returns the per-vertex python lists, the array backend
+        (:class:`~repro.core.array_structure_d.ArrayStructureD`) returns
+        slices of its flat postorder-sorted arrays.  Both are sequences
+        supporting ``len``/indexing/``bisect``, which is what keeps the scalar
+        query code byte-identical across backends.
+        """
+        posts = self._sorted_posts.get(u)
+        if posts is None:
+            return None
+        return posts, self._sorted_nbrs[u]
+
+    def _base_row_neighbors(self, v: Vertex):
+        """Neighbour sequence of *v*'s base row (empty if *v* is unindexed)."""
+        row = self._row(v)
+        return () if row is None else row[1]
+
     @property
     def base_tree(self) -> DFSTree:
         """The DFS tree whose post-order numbers index the structure."""
@@ -180,7 +200,7 @@ class StructureD:
         masked first: discarding *v* from the deleted-vertex set must not bring
         edges back to life that the updated graph no longer has.
         """
-        for w in self._sorted_nbrs.get(v, ()):
+        for w in self._base_row_neighbors(v):
             self._deleted_edges.add(frozenset((v, w)))
         for store in (self._extra_edges, self._cross_edges):
             stale = store.get(v)
@@ -468,7 +488,9 @@ class StructureD:
         best_level = None
         probes = 0
 
-        if u in self._sorted_posts:
+        row = self._row(u)
+        if row is not None:
+            posts, nbrs = row
             if u in tree and top in tree and bottom in tree:
                 # The ancestors of u on the segment occupy the post-order range
                 # [post(lca(u, bottom)), post(top)] — see the module docstring.
@@ -476,8 +498,6 @@ class StructureD:
                     low_anchor = tree.lca(u, bottom)
                     lo = self._post[low_anchor]
                     hi = self._post[top]
-                    posts = self._sorted_posts[u]
-                    nbrs = self._sorted_nbrs[u]
                     left = bisect_left(posts, lo)
                     right = bisect_right(posts, hi)
                     indices = range(left, right) if prefer_bottom else range(right - 1, left - 1, -1)
@@ -494,7 +514,7 @@ class StructureD:
                 # overlay): its sorted list is small (k updates) or freshly
                 # sorted; scan it and keep the candidate nearest the preferred
                 # end of the segment.
-                for w in self._sorted_nbrs[u]:
+                for w in nbrs:
                     probes += 1
                     if not self._edge_alive(u, w) or not on_segment(w):
                         continue
@@ -549,9 +569,9 @@ class StructureD:
         probes = 0
         best: Optional[Vertex] = None
         best_post: Optional[int] = None
-        posts = self._sorted_posts.get(u)
-        if posts:
-            nbrs = self._sorted_nbrs[u]
+        row = self._row(u)
+        if row is not None and len(row[0]):
+            posts, nbrs = row
             i = bisect_left(posts, lo)
             while i < len(posts) and posts[i] <= hi:
                 probes += 1
@@ -571,10 +591,28 @@ class StructureD:
                 best, best_post = w, p
         return best, probes
 
+    def min_post_alive_neighbor_batch(
+        self, us: Sequence[Vertex], los: Sequence[int], his: Sequence[int]
+    ) -> Tuple[List[Optional[Vertex]], int]:
+        """Batched :meth:`min_post_alive_neighbor` over aligned query triples.
+
+        Returns ``(answers, total_probes)`` — exactly the results of calling
+        the scalar method once per triple.  The dict backend loops; the array
+        backend answers all clean rows with one ``np.searchsorted`` sweep and
+        falls back to the scalar path only for rows an overlay has touched.
+        """
+        best: List[Optional[Vertex]] = []
+        probes = 0
+        for u, lo, hi in zip(us, los, his):
+            b, p = self.min_post_alive_neighbor(u, lo, hi)
+            best.append(b)
+            probes += p
+        return best, probes
+
     def neighbors_of(self, u: Vertex) -> List[Vertex]:
         """All currently-alive neighbours of *u* according to the structure."""
         out = []
-        for w in self._sorted_nbrs.get(u, []):
+        for w in self._base_row_neighbors(u):
             if self._edge_alive(u, w):
                 out.append(w)
         for w in self._overlay_neighbors(u):  # inserted + pinned edges
@@ -588,12 +626,12 @@ class StructureD:
             return False
         if w in self._extra_edges.get(u, ()) or w in self._cross_edges.get(u, ()):
             return True
-        posts = self._sorted_posts.get(u)
-        if posts is None or w not in self._post:
+        row = self._row(u)
+        if row is None or w not in self._post:
             return False
+        posts, nbrs = row
         p = self._post[w]
         i = bisect_left(posts, p)
-        nbrs = self._sorted_nbrs[u]
         while i < len(posts) and posts[i] == p:
             if nbrs[i] == w:
                 return True

@@ -70,6 +70,7 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence
 
+from repro.backends import native_graph, resolve_backend
 from repro.constants import VIRTUAL_ROOT
 from repro.core.engine import Backend, UpdateEngine, update_words
 from repro.core.maintenance import CostModel, CostSignal, MaintenanceController
@@ -753,6 +754,11 @@ class DistributedDynamicDFS:
 
     Parameters
     ----------
+    backend:
+        Storage core of the node-local graph copy: ``"dict"`` (default),
+        ``"array"`` (numpy flat/CSR core — accelerates the BFS floods and the
+        initial DFS, byte-identical trees) or ``None`` to read the
+        ``REPRO_BACKEND`` environment variable.
     rebuild_every:
         ``1`` (default) — rebuild the broadcast tree and re-disseminate the
         forest summary on every update.  ``k > 1`` / ``None`` — reuse the
@@ -806,6 +812,7 @@ class DistributedDynamicDFS:
         self,
         graph: UndirectedGraph,
         *,
+        backend: Optional[str] = None,
         bandwidth_words: Optional[int] = None,
         rebuild_every: Optional[int] = 1,
         local_repair: bool = True,
@@ -822,8 +829,9 @@ class DistributedDynamicDFS:
             raise ValueError(
                 f"drift_rebuild_cost must be a positive budget or None, got {drift_rebuild_cost!r}"
             )
+        self._backend_name = resolve_backend(backend)
         self.metrics = metrics or MetricsRecorder("distributed_dfs")
-        self._graph = graph.copy()
+        self._graph = native_graph(graph, self._backend_name, copy=True)
         root = next(iter(self._graph.vertices()))
         self.diameter, auto_bandwidth = recommended_bandwidth(self._graph, root)
         self.bandwidth = bandwidth_words if bandwidth_words is not None else auto_bandwidth
@@ -856,6 +864,11 @@ class DistributedDynamicDFS:
         )
 
     # ------------------------------------------------------------------ #
+    @property
+    def backend(self) -> str:
+        """The resolved storage backend name (``"dict"`` or ``"array"``)."""
+        return self._backend_name
+
     @property
     def tree(self) -> DFSTree:
         """The DFS forest currently stored at every node."""

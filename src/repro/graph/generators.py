@@ -12,12 +12,19 @@ All generators are deterministic given a ``seed``.
 
 from __future__ import annotations
 
+import math
 import random
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.graph.graph import UndirectedGraph
 
 Edge = Tuple[int, int]
+
+#: ``gnp_random_graph`` switches from the O(n^2) cell-by-cell scan to the
+#: geometric edge-skipping construction at this many vertices.  The two draw
+#: different random streams, so the gate is deliberately far above every seeded
+#: small-``n`` graph baked into tests and benchmarks.
+GNP_FAST_PATH_MIN_N = 4096
 
 
 def _rng(seed: Optional[int]) -> random.Random:
@@ -44,6 +51,20 @@ def gnp_random_graph(n: int, p: float, *, seed: Optional[int] = None, connected:
         for u, v in random_spanning_tree_edges(n, seed=rng.randrange(2**31)):
             if not g.has_edge(u, v):
                 g.add_edge(u, v)
+    if n >= GNP_FAST_PATH_MIN_N and 0.0 < p < 1.0:
+        # Batagelj–Brandes geometric skipping: expected O(n + m) instead of
+        # the O(n^2) coin flip per vertex pair.  Different random stream than
+        # the small-n scan, hence the n gate (seeded baselines stay stable).
+        log_q = math.log(1.0 - p)
+        v, w = 1, -1
+        while v < n:
+            w += 1 + int(math.log(1.0 - rng.random()) / log_q)
+            while w >= v and v < n:
+                w -= v
+                v += 1
+            if v < n and not g.has_edge(w, v):
+                g.add_edge(w, v)
+        return g
     for u in range(n):
         for v in range(u + 1, n):
             if rng.random() < p and not g.has_edge(u, v):
@@ -68,6 +89,40 @@ def gnm_random_graph(n: int, m: int, *, seed: Optional[int] = None, connected: b
         v = rng.randrange(n)
         if u != v and not g.has_edge(u, v):
             g.add_edge(u, v)
+    return g
+
+
+def barabasi_albert_graph(n: int, m: int, *, seed: Optional[int] = None) -> UndirectedGraph:
+    """Barabási–Albert preferential-attachment graph on ``0..n-1``.
+
+    Starts from ``m`` isolated seed vertices; every later vertex attaches to
+    ``m`` distinct existing vertices sampled with probability proportional to
+    their current degree (the classic repeated-endpoints urn).  Produces the
+    heavy-tailed degree distributions the large-tier benchmarks use to stress
+    skewed adjacency rows; deterministic given *seed* and always connected for
+    ``n > m``.
+    """
+    if m < 1:
+        raise ValueError("m must be at least 1")
+    if n < m + 1:
+        raise ValueError(f"barabasi_albert_graph needs n >= m + 1, got n={n}, m={m}")
+    rng = _rng(seed)
+    g = UndirectedGraph(vertices=range(n))
+    targets = list(range(m))
+    repeated: List[int] = []
+    for source in range(m, n):
+        for t in targets:
+            g.add_edge(source, t)
+        repeated.extend(targets)
+        repeated.extend([source] * m)
+        new_targets: List[int] = []
+        seen = set()
+        while len(new_targets) < m:
+            x = rng.choice(repeated)
+            if x not in seen:
+                seen.add(x)
+                new_targets.append(x)
+        targets = new_targets
     return g
 
 
@@ -275,6 +330,7 @@ def graph_from_edges(edges: Iterable[Edge], *, vertices: Optional[Sequence[int]]
 FAMILIES = {
     "gnp": gnp_random_graph,
     "gnm": gnm_random_graph,
+    "barabasi_albert": barabasi_albert_graph,
     "path": path_graph,
     "cycle": cycle_graph,
     "star": star_graph,

@@ -4,6 +4,17 @@ connected components.
 These are the sequential substrates the paper builds on ([47] in the paper): the
 initial DFS tree is computed once with :func:`static_dfs_tree` /
 :func:`static_dfs_forest`, after which the dynamic algorithms take over.
+
+When the graph carries the flat array core (``is_array_backend``, see
+:mod:`repro.graph.array_graph`), BFS floods run as frontier-array sweeps over
+the CSR snapshot and DFS runs over plain int lists instead of dict lookups.
+The array paths reproduce the dict traversal **byte-identically** — the CSR
+rows preserve per-vertex insertion order, candidate gathering visits them in
+frontier order, and first-occurrence deduplication matches the dict's
+first-discovery rule — so every caller (including the distributed 2-sweep
+center election, which tie-breaks on BFS discovery order) sees the same
+result on both backends.  numpy is imported lazily inside the array paths
+only; the dict paths stay numpy-free.
 """
 
 from __future__ import annotations
@@ -39,6 +50,8 @@ def static_dfs_tree(
     allowed = None if restrict_to is None else set(restrict_to)
     if allowed is not None and root not in allowed:
         raise VertexNotFound(root)
+    if allowed is None and getattr(graph, "is_array_backend", False):
+        return _static_dfs_tree_array(graph, root)
 
     parent: Dict[Vertex, Optional[Vertex]] = {root: None}
     # Each stack frame is (vertex, iterator over its neighbours).
@@ -114,6 +127,8 @@ def bfs_tree(
     """
     if not graph.has_vertex(root):
         raise VertexNotFound(root)
+    if getattr(graph, "is_array_backend", False):
+        return _bfs_tree_array(graph, root)
     parent: Dict[Vertex, Optional[Vertex]] = {root: None}
     depth: Dict[Vertex, int] = {root: 0}
     frontier: List[Vertex] = [root]
@@ -135,6 +150,8 @@ def connected_components(graph: UndirectedGraph) -> List[List[Vertex]]:
     Components are listed in order of their first vertex (insertion order), and
     vertices inside a component are listed in BFS order from that vertex.
     """
+    if getattr(graph, "is_array_backend", False):
+        return _connected_components_array(graph)
     seen: set = set()
     components: List[List[Vertex]] = []
     for start in graph.vertices():
@@ -160,6 +177,9 @@ def component_of(graph: UndirectedGraph, vertex: Vertex) -> List[Vertex]:
     """Return the connected component containing *vertex* (BFS order)."""
     if not graph.has_vertex(vertex):
         raise VertexNotFound(vertex)
+    if getattr(graph, "is_array_backend", False):
+        _, layers, ids = _bfs_layers_array(graph, graph.slot(vertex), None)
+        return [ids[s] for layer in layers for s in layer]
     seen = {vertex}
     comp = [vertex]
     frontier = [vertex]
@@ -173,3 +193,121 @@ def component_of(graph: UndirectedGraph, vertex: Vertex) -> List[Vertex]:
                     nxt.append(w)
         frontier = nxt
     return comp
+
+
+# --------------------------------------------------------------------------- #
+# Array-backend fast paths (byte-identical to the dict traversals above)
+# --------------------------------------------------------------------------- #
+def _bfs_layers_array(graph, root_slot, seen):
+    """Frontier-array BFS from *root_slot* over the CSR snapshot.
+
+    Returns ``(parent_slot, layers, ids)``: the per-slot parent array, the
+    list of frontier arrays (layer 0 = the root) and the slot -> vertex-id
+    object array.  *seen* may carry a shared per-slot visited mask (used by
+    :func:`_connected_components_array` across components).
+
+    Candidate neighbours are gathered frontier-order × row-order and the first
+    occurrence of each slot wins — exactly the dict BFS's first-discovery
+    rule, so parents and discovery order match the dict backend entry for
+    entry.
+    """
+    import numpy as np
+
+    indptr, indices = graph.csr()
+    ids = graph.ids_array()
+    if seen is None:
+        seen = np.zeros(len(ids), dtype=bool)
+    seen[root_slot] = True
+    parent_slot = np.full(len(ids), -1, dtype=np.int64)
+    frontier = np.array([root_slot], dtype=np.int64)
+    layers = [frontier]
+    while frontier.size:
+        starts = indptr[frontier]
+        counts = indptr[frontier + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            break
+        # Ragged gather: positions of every neighbour entry of the frontier,
+        # laid out frontier-order x row-order.
+        out_starts = np.zeros(len(frontier), dtype=np.int64)
+        np.cumsum(counts[:-1], out=out_starts[1:])
+        pos = np.arange(total, dtype=np.int64) + np.repeat(starts - out_starts, counts)
+        cand = indices[pos]
+        src = np.repeat(frontier, counts)
+        unseen = ~seen[cand]
+        cand = cand[unseen]
+        src = src[unseen]
+        if cand.size == 0:
+            break
+        _, first = np.unique(cand, return_index=True)
+        first.sort()
+        nxt = cand[first]
+        parent_slot[nxt] = src[first]
+        seen[nxt] = True
+        layers.append(nxt)
+        frontier = nxt
+    return parent_slot, layers, ids
+
+
+def _bfs_tree_array(graph, root):
+    parent_slot, layers, ids = _bfs_layers_array(graph, graph.slot(root), None)
+    parent: Dict[Vertex, Optional[Vertex]] = {root: None}
+    depth: Dict[Vertex, int] = {root: 0}
+    for d, layer in enumerate(layers[1:], start=1):
+        for s in layer.tolist():
+            parent[ids[s]] = ids[parent_slot[s]]
+            depth[ids[s]] = d
+    return parent, depth
+
+
+def _connected_components_array(graph):
+    import numpy as np
+
+    seen = np.zeros(graph.num_slots, dtype=bool)
+    components: List[List[Vertex]] = []
+    for start in graph.vertices():
+        s = graph.slot(start)
+        if seen[s]:
+            continue
+        _, layers, ids = _bfs_layers_array(graph, s, seen)
+        components.append([ids[x] for layer in layers for x in layer])
+    return components
+
+
+def _static_dfs_tree_array(graph, root):
+    """Adjacency-order iterative DFS over plain int lists (CSR rows).
+
+    Same traversal as the dict path — each row is scanned left to right, the
+    first unvisited neighbour is descended into — but membership tests are a
+    bytearray over slots and rows are python ints, which avoids the dict
+    hashing on every probe.
+    """
+    indptr, indices = graph.csr()
+    iptr = indptr.tolist()
+    idx = indices.tolist()
+    ids = graph.ids_array()
+    visited = bytearray(graph.num_slots)
+    r = graph.slot(root)
+    visited[r] = 1
+    parent: Dict[Vertex, Optional[Vertex]] = {root: None}
+    # Each frame is [slot, next position in its CSR row].
+    stack: List[List[int]] = [[r, iptr[r]]]
+    while stack:
+        frame = stack[-1]
+        v, i = frame
+        end = iptr[v + 1]
+        advanced = False
+        while i < end:
+            w = idx[i]
+            i += 1
+            if not visited[w]:
+                visited[w] = 1
+                parent[ids[w]] = ids[v]
+                frame[1] = i
+                stack.append([w, iptr[w]])
+                advanced = True
+                break
+        if not advanced:
+            frame[1] = i
+            stack.pop()
+    return parent

@@ -52,6 +52,10 @@ WELL_KNOWN_COUNTERS: Dict[str, str] = {
     "max_d_target_segments_per_query": "largest segment decomposition one query needed",
     "d_reanchor_probes": "adjacency entries touched while re-anchoring canonical source endpoints",
     "d_overlay_view_queries": "queries answered while D's base tree differs from the current tree",
+    # Array backend (flat/CSR core of ArrayStructureD)
+    "d_flat_materializations": "flat array rows degraded to python lists (one-way, before the first absorb)",
+    "d_batch_queries": "batched min-postorder re-anchor calls answered by D",
+    "d_batch_query_fallbacks": "batched re-anchor calls that fell back entirely to the scalar path",
     # Query services
     "queries": "EdgeQuery objects answered by a query service",
     "query_batches": "independent query batches (one parallel round each)",

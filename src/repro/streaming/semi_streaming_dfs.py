@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set
 
+from repro.backends import graph_class, native_graph, resolve_backend, structure_class
 from repro.constants import VIRTUAL_ROOT
 from repro.core.engine import Backend, UpdateEngine
 from repro.core.maintenance import CostModel, CostSignal, MaintenanceController
@@ -178,9 +179,16 @@ class StreamSnapshotBackend(_StreamBackendBase):
         stream: EdgeStream,
         vertices: Set[Vertex],
         metrics: MetricsRecorder,
+        *,
+        graph_cls: type = UndirectedGraph,
+        structure_cls: type = StructureD,
     ) -> None:
         super().__init__(graph, stream, vertices, metrics)
         self.structure: Optional[StructureD] = None
+        # Snapshot representation: the array backend materialises each stream
+        # pass straight into an ArrayGraph/ArrayStructureD pair.
+        self._graph_cls = graph_cls
+        self._structure_cls = structure_cls
         # The snapshot policy on the shared cost-model controller: one
         # snapshot pass per refresh amortizes against the per-query overlay
         # scans the stale snapshot charges, so the cadence model re-snapshots
@@ -193,8 +201,8 @@ class StreamSnapshotBackend(_StreamBackendBase):
         with self.metrics.timer("build_d"):
             # One pass materialises the edge set; StructureD sorts it by the
             # current tree's post-order numbers (Theorem 8 on a snapshot).
-            snapshot = UndirectedGraph(vertices=list(self.vertices), edges=self.stream.pass_over())
-            self.structure = StructureD(snapshot, tree, metrics=self.metrics)
+            snapshot = self._graph_cls(vertices=list(self.vertices), edges=self.stream.pass_over())
+            self.structure = self._structure_cls(snapshot, tree, metrics=self.metrics)
         self.controller.on_refresh()
 
     def must_rebuild(self, update: Update) -> bool:
@@ -270,6 +278,12 @@ class SemiStreamingDynamicDFS:
         one-pass snapshot of the stream into ``D`` every ``k``-th update
         (``None`` auto-tunes on the overlay budget), zero passes in between,
         ``O(m)`` local memory.  Both policies maintain identical trees.
+    backend:
+        Storage core for the reference graph and (in the amortized hybrid)
+        the stream snapshots: ``"dict"`` (default), ``"array"`` (numpy
+        flat/CSR core, byte-identical trees) or ``None`` to read
+        ``REPRO_BACKEND``.  The classic ``rebuild_every=1`` algorithm keeps
+        no snapshot, so there the knob only accelerates the initial DFS.
     """
 
     def __init__(
@@ -277,22 +291,35 @@ class SemiStreamingDynamicDFS:
         graph: UndirectedGraph,
         *,
         rebuild_every: Optional[int] = 1,
+        backend: Optional[str] = None,
         validate: bool = False,
         metrics: Optional[MetricsRecorder] = None,
     ) -> None:
+        self._backend_name = resolve_backend(backend)
         UpdateEngine.validate_options("parallel", rebuild_every)  # fail fast
         self.metrics = metrics or MetricsRecorder("semi_streaming_dfs")
         # The "reference" graph exists only for validation and for the fallback
         # adjacency provider; the algorithm itself touches edges only through
         # the stream.
-        self._graph = graph.copy()
+        self._graph = native_graph(graph, self._backend_name, copy=True)
         self._stream = EdgeStream.from_graph(graph, metrics=self.metrics)
         self._vertices = set(graph.vertices())
         with self.metrics.timer("initial_dfs"):
             parent = static_dfs_forest(self._graph)
         tree = DFSTree(parent, root=VIRTUAL_ROOT)
-        cls = StreamPassBackend if rebuild_every == 1 else StreamSnapshotBackend
-        self._backend = cls(self._graph, self._stream, self._vertices, self.metrics)
+        if rebuild_every == 1:
+            self._backend: _StreamBackendBase = StreamPassBackend(
+                self._graph, self._stream, self._vertices, self.metrics
+            )
+        else:
+            self._backend = StreamSnapshotBackend(
+                self._graph,
+                self._stream,
+                self._vertices,
+                self.metrics,
+                graph_cls=graph_class(self._backend_name),
+                structure_cls=structure_class(self._backend_name),
+            )
         self._engine = UpdateEngine(
             self._backend,
             tree,
@@ -321,6 +348,11 @@ class SemiStreamingDynamicDFS:
     def rebuild_every(self) -> Optional[int]:
         """The configured rebuild policy (``1`` = classic pass-based)."""
         return self._engine.rebuild_every
+
+    @property
+    def backend(self) -> str:
+        """The resolved storage backend name (``"dict"`` or ``"array"``)."""
+        return self._backend_name
 
     @property
     def update_engine(self) -> UpdateEngine:

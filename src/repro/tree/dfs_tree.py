@@ -53,6 +53,7 @@ class DFSTree:
         "_size",
         "_up",
         "_log",
+        "_arrays",
     )
 
     def __init__(self, parent: ParentMap, *, root: Optional[Vertex] = None) -> None:
@@ -93,6 +94,7 @@ class DFSTree:
         self._compute_indices()
         self._up: Optional[List[List[int]]] = None
         self._log = max(1, (n - 1).bit_length()) if n else 1
+        self._arrays: Optional[Dict[str, object]] = None
 
     # ------------------------------------------------------------------ #
     # Index computation
@@ -204,6 +206,35 @@ class DFSTree:
     def subtree_size(self, v: Vertex) -> int:
         """Number of vertices in ``T(v)``."""
         return self._size[self._i(v)]
+
+    def as_arrays(self) -> Dict[str, object]:
+        """Numpy views of the per-vertex indices, keyed by name (lazy, cached).
+
+        Returns a dict with ``"vertices"`` (object array, index -> vertex id)
+        and int64 arrays ``"parent"``, ``"post"``, ``"level"``, ``"size"``,
+        ``"tin"``, ``"tout"``, all aligned with the tree's internal vertex
+        indexing (``parent`` is ``-1`` at roots).  The snapshot is immutable,
+        so the arrays are built once and shared; callers must not write to
+        them.  Requires numpy (the array backend's tree constructors and
+        :class:`repro.tree.lca.ArrayLCAIndex` use this; dict-backend code never
+        calls it).
+        """
+        if self._arrays is None:
+            import numpy as np
+
+            n = len(self._verts)
+            verts = np.empty(n, dtype=object)
+            verts[:] = self._verts
+            self._arrays = {
+                "vertices": verts,
+                "parent": np.array(self._parent_idx, dtype=np.int64),
+                "post": np.array(self._post, dtype=np.int64),
+                "level": np.array(self._level, dtype=np.int64),
+                "size": np.array(self._size, dtype=np.int64),
+                "tin": np.array(self._tin, dtype=np.int64),
+                "tout": np.array(self._tout, dtype=np.int64),
+            }
+        return self._arrays
 
     def parent_map(self) -> Dict[Vertex, Optional[Vertex]]:
         """Return a plain parent map copy of the forest."""

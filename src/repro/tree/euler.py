@@ -55,6 +55,42 @@ def euler_tour(tree: DFSTree, root: Vertex | None = None) -> Tuple[List[Vertex],
     return tour, first, depths
 
 
+def euler_tour_arrays(tree: DFSTree, root: Vertex | None = None):
+    """Vectorized Euler tour construction (array-backend fast path).
+
+    Returns ``(tour_idx, first, depths)`` as numpy int64 arrays: ``tour_idx``
+    holds vertex *indices* (into ``tree.as_arrays()["vertices"]``) in tour
+    order, ``first[i]`` is the tour position of vertex index ``i``'s first
+    appearance (``-1`` for vertices outside *root*'s tree) and ``depths`` are
+    the tour depths.  Equivalent to :func:`euler_tour` entry for entry, but
+    built by two scatter writes instead of an explicit walk: with the shared
+    entry/exit clock of :class:`DFSTree`, the classical tour is exactly the
+    event sequence ``ev[tin[v]] = v``, ``ev[tout[v]] = parent(v)`` sliced to
+    ``[tin[root], tout[root])``.
+    """
+    import numpy as np
+
+    if root is None:
+        root = tree.root
+    arrs = tree.as_arrays()
+    tin = arrs["tin"]
+    tout = arrs["tout"]
+    n = len(tin)
+    ri = tree._i(root)
+    ev = np.empty(2 * n, dtype=np.int64)
+    ev[tin] = np.arange(n, dtype=np.int64)
+    # Roots scatter -1 at their exit event, but every exit event inside the
+    # slice below belongs to a proper descendant of *root*, whose parent index
+    # is valid.
+    ev[tout] = arrs["parent"]
+    lo = int(tin[ri])
+    hi = int(tout[ri])
+    tour_idx = ev[lo:hi].copy()
+    depths = arrs["level"][tour_idx]
+    first = np.where((tin >= lo) & (tout <= hi), tin - lo, -1)
+    return tour_idx, first, depths
+
+
 def edge_tour(tree: DFSTree, root: Vertex | None = None) -> List[Tuple[Vertex, Vertex]]:
     """Return the Euler tour as a list of directed tree edges.
 

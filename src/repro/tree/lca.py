@@ -16,7 +16,7 @@ from typing import Dict, Hashable, List
 
 from repro.exceptions import TreeError
 from repro.tree.dfs_tree import DFSTree
-from repro.tree.euler import euler_tour
+from repro.tree.euler import euler_tour, euler_tour_arrays
 
 Vertex = Hashable
 
@@ -110,6 +110,170 @@ class EulerTourLCA:
     def is_ancestor(self, a: Vertex, b: Vertex) -> bool:
         """True iff *a* is an ancestor of *b*."""
         return self.lca(a, b) == a
+
+    def distance(self, a: Vertex, b: Vertex) -> int:
+        """Number of tree edges between *a* and *b*."""
+        l = self.lca(a, b)
+        return self._tree.level(a) + self._tree.level(b) - 2 * self._tree.level(l)
+
+
+class ArrayLCAIndex:
+    """Euler-tour sparse-table LCA over numpy arrays, with batch queries.
+
+    The array-backend counterpart of :class:`EulerTourLCA`: same tour, same
+    range-minimum sparse table, same answers, but the table is a single padded
+    2-D int64 array built with vectorized ``np.where`` sweeps and
+    :meth:`lca_batch` answers many queries in one shot (two fancy-indexed
+    table look-ups for the whole batch).  Requires numpy.
+    """
+
+    def __init__(self, tree: DFSTree, root: Vertex | None = None) -> None:
+        import numpy as np
+
+        self._np = np
+        self._tree = tree
+        tour, first, depths = euler_tour_arrays(tree, root)
+        self._tour = tour
+        self._first = first
+        self._depths = depths
+        arrs = tree.as_arrays()
+        self._verts = arrs["vertices"]
+        self._tin = arrs["tin"]
+        self._tout = arrs["tout"]
+        m = len(tour)
+        log = np.zeros(m + 1, dtype=np.int64)
+        for k in range(1, m.bit_length()):
+            log[1 << k :] = k
+        self._log = log
+        levels = int(log[m]) + 1 if m else 1
+        # table[k][i] = tour index of the minimum-depth entry in
+        # tour[i : i + 2^k]; positions past the valid width are padding
+        # (copied from the previous level, never read by a query).
+        table = np.empty((levels, max(m, 1)), dtype=np.int64)
+        table[0] = np.arange(max(m, 1), dtype=np.int64)
+        for k in range(1, levels):
+            half = 1 << (k - 1)
+            width = m - (1 << k) + 1
+            prev = table[k - 1]
+            left = prev[:width]
+            right = prev[half : half + width]
+            table[k, :width] = np.where(depths[left] <= depths[right], left, right)
+            table[k, width:] = prev[width:]
+        self._table = table
+        self._vert2idx = self._build_vert2idx(tree)
+
+    def _build_vert2idx(self, tree: DFSTree):
+        """Dense int-id -> tree-index table when vertex ids allow it.
+
+        Lets :meth:`lca_batch` replace the per-vertex dict lookups with one
+        gather.  ``None`` (object ids, huge/negative ids) falls back to the
+        dict path; a non-int root (e.g. the virtual root) is tolerated by
+        masking its slot out.
+        """
+        np = self._np
+        verts = tree._verts
+        n = len(verts)
+        if not n:
+            return None
+        ids = verts
+        root = tree.root
+        if not isinstance(root, int):
+            try:
+                ri = verts.index(root)
+            except ValueError:
+                ri = -1
+            if ri >= 0:
+                ids = list(verts)
+                ids[ri] = -1
+        # bools are ints here, which is fine (hash(True) == hash(1)); floats
+        # and other objects must NOT silently truncate into the table.
+        if not all(isinstance(v, int) for v in ids):
+            return None
+        arr = np.array(ids, dtype=np.int64)
+        mask = arr >= 0
+        if not bool(mask.any()):
+            return None
+        pos = arr[mask]
+        if int(pos.min()) < 0 or int(pos.max()) > 8 * n + 64:
+            return None
+        table = np.full(int(pos.max()) + 1, -1, dtype=np.int64)
+        table[pos] = np.flatnonzero(mask)
+        return table
+
+    def _batch_indices(self, vs, n: int):
+        """Tree indices for *vs* via the dense table, or ``None`` to signal
+        the caller to use the dict path (object ids, unknown ids, no table)."""
+        np = self._np
+        table = self._vert2idx
+        if table is None:
+            return None
+        arr = np.asarray(vs)
+        if arr.shape != (n,) or arr.dtype.kind not in "iub":
+            return None
+        arr = arr.astype(np.int64, copy=False)
+        if n == 0:
+            return arr
+        if int(arr.min()) < 0 or int(arr.max()) >= len(table):
+            return None
+        out = table[arr]
+        if int(out.min()) < 0:
+            return None
+        return out
+
+    def _first_of(self, v: Vertex):
+        try:
+            f = self._first[self._tree._idx[v]]
+        except KeyError:
+            raise TreeError(f"vertex {v!r} is not indexed by this LCA structure") from None
+        if f < 0:
+            raise TreeError(f"vertex {v!r} is not indexed by this LCA structure")
+        return f
+
+    def lca(self, a: Vertex, b: Vertex) -> Vertex:
+        """Lowest common ancestor of *a* and *b* (O(1))."""
+        ia = self._first_of(a)
+        ib = self._first_of(b)
+        if ia > ib:
+            ia, ib = ib, ia
+        k = self._log[ib - ia + 1]
+        left = self._table[k, ia]
+        right = self._table[k, ib - (1 << int(k)) + 1]
+        m = left if self._depths[left] <= self._depths[right] else right
+        return self._verts[self._tour[m]]
+
+    def lca_batch(self, avs, bvs) -> List[Vertex]:
+        """Lowest common ancestors of the pairs ``zip(avs, bvs)``, vectorized.
+
+        Returns a list aligned with the inputs; answers equal ``[self.lca(a,
+        b) for a, b in zip(avs, bvs)]`` but the whole batch costs two sparse
+        table gathers.
+        """
+        np = self._np
+        na = len(avs)
+        ia = self._batch_indices(avs, na)
+        ib = self._batch_indices(bvs, na) if ia is not None else None
+        if ia is None or ib is None:
+            idx = self._tree._idx
+            ia = np.fromiter((idx[a] for a in avs), dtype=np.int64, count=na)
+            ib = np.fromiter((idx[b] for b in bvs), dtype=np.int64, count=na)
+        fa = self._first[ia]
+        fb = self._first[ib]
+        if na and (int(fa.min()) < 0 or int(fb.min()) < 0):
+            bad = avs[int(np.argmin(fa))] if int(fa.min()) < 0 else bvs[int(np.argmin(fb))]
+            raise TreeError(f"vertex {bad!r} is not indexed by this LCA structure")
+        lo = np.minimum(fa, fb)
+        hi = np.maximum(fa, fb)
+        ks = self._log[hi - lo + 1]
+        left = self._table[ks, lo]
+        right = self._table[ks, hi - np.left_shift(1, ks) + 1]
+        mins = np.where(self._depths[left] <= self._depths[right], left, right)
+        return self._verts[self._tour[mins]].tolist()
+
+    def is_ancestor(self, a: Vertex, b: Vertex) -> bool:
+        """True iff *a* is an ancestor of *b* (O(1) via entry/exit intervals)."""
+        ai = self._tree._i(a)
+        bi = self._tree._i(b)
+        return bool(self._tin[ai] <= self._tin[bi] and self._tout[bi] <= self._tout[ai])
 
     def distance(self, a: Vertex, b: Vertex) -> int:
         """Number of tree edges between *a* and *b*."""

@@ -32,6 +32,23 @@ settings.register_profile("ci", derandomize=True, **_COMMON)
 settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "large: large-n smoke tests (n ~ 10^5); excluded from tier-1, "
+        "opt in with REPRO_LARGE_TESTS=1 (separate CI job)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if os.environ.get("REPRO_LARGE_TESTS") == "1":
+        return
+    skip_large = pytest.mark.skip(reason="large tier: set REPRO_LARGE_TESTS=1 to run")
+    for item in items:
+        if "large" in item.keywords:
+            item.add_marker(skip_large)
+
+
 @pytest.fixture
 def rng() -> random.Random:
     return random.Random(12345)

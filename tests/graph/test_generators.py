@@ -91,3 +91,37 @@ def test_lollipop_and_cycle_with_chords():
     assert lol.num_edges == 10 + 4
     cyc = cycle_with_chords(20, 5, seed=2)
     assert cyc.num_edges == 25
+
+
+def test_barabasi_albert_structure_and_determinism():
+    from repro.graph.generators import barabasi_albert_graph
+
+    g = barabasi_albert_graph(200, 3, seed=4)
+    assert g.num_vertices == 200
+    # each of the n - m arrivals contributes exactly m distinct edges
+    assert g.num_edges == (200 - 3) * 3
+    assert g == barabasi_albert_graph(200, 3, seed=4)
+    assert len(connected_components(g)) == 1
+    # preferential attachment produces a heavy tail: some early hub beats
+    # the minimum degree by a wide margin
+    assert max(g.degree(v) for v in g.vertices()) >= 4 * 3
+    with pytest.raises(ValueError):
+        barabasi_albert_graph(3, 3)
+    with pytest.raises(ValueError):
+        barabasi_albert_graph(10, 0)
+
+
+def test_gnp_fast_path_statistics_and_determinism():
+    from repro.graph.generators import GNP_FAST_PATH_MIN_N
+
+    n = GNP_FAST_PATH_MIN_N
+    p = 0.002
+    a = gnp_random_graph(n, p, seed=9)
+    assert a == gnp_random_graph(n, p, seed=9)
+    expected = p * n * (n - 1) / 2
+    # Batagelj–Brandes skipping must reproduce the G(n, p) edge-count
+    # distribution: within 5 standard deviations of the mean
+    sd = (expected * (1 - p)) ** 0.5
+    assert abs(a.num_edges - expected) <= 5 * sd
+    # degenerate probabilities still take the exact paths
+    assert gnp_random_graph(n, 0.0, seed=1).num_edges == 0

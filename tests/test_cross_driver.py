@@ -28,6 +28,7 @@ import pytest
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
+from repro.backends import HAVE_NUMPY
 from repro.baselines.static_recompute import StaticRecomputeDFS
 from repro.constants import is_virtual_root
 from repro.core.dynamic_dfs import FullyDynamicDFS
@@ -44,6 +45,9 @@ from repro.workloads.updates import mixed_updates
 
 AMORTIZED_K = 10
 
+#: Storage backends every combo must agree across ("array" needs numpy).
+BACKENDS = ["dict"] + (["array"] if HAVE_NUMPY else [])
+
 
 def _drive(name, factory, updates):
     # Strict recorders: any counter a driver increments without registering it
@@ -54,19 +58,19 @@ def _drive(name, factory, updates):
     return driver, metrics
 
 
-def _all_driver_maps(graph, updates):
-    """Run *updates* through every driver/policy combination; returns
-    ``{label: (parent_map, metrics)}``."""
+def _all_driver_maps(graph, updates, backend="dict"):
+    """Run *updates* through every driver/policy combination on *backend*;
+    returns ``{label: (parent_map, metrics)}``."""
     out = {}
     combos = [
-        ("core_rebuild_every_1", lambda m: FullyDynamicDFS(graph, rebuild_every=1, metrics=m)),
-        ("core_amortized", lambda m: FullyDynamicDFS(graph, rebuild_every=AMORTIZED_K, metrics=m)),
-        ("core_absorb", lambda m: FullyDynamicDFS(graph, rebuild_every=AMORTIZED_K, d_maintenance="absorb", metrics=m)),
-        ("core_brute", lambda m: FullyDynamicDFS(graph, service="brute", metrics=m)),
-        ("stream_classic", lambda m: SemiStreamingDynamicDFS(graph, rebuild_every=1, metrics=m)),
-        ("stream_amortized", lambda m: SemiStreamingDynamicDFS(graph, rebuild_every=AMORTIZED_K, metrics=m)),
-        ("dist_classic", lambda m: DistributedDynamicDFS(graph, rebuild_every=1, metrics=m)),
-        ("dist_amortized", lambda m: DistributedDynamicDFS(graph, rebuild_every=AMORTIZED_K, metrics=m)),
+        ("core_rebuild_every_1", lambda m: FullyDynamicDFS(graph, rebuild_every=1, metrics=m, backend=backend)),
+        ("core_amortized", lambda m: FullyDynamicDFS(graph, rebuild_every=AMORTIZED_K, metrics=m, backend=backend)),
+        ("core_absorb", lambda m: FullyDynamicDFS(graph, rebuild_every=AMORTIZED_K, d_maintenance="absorb", metrics=m, backend=backend)),
+        ("core_brute", lambda m: FullyDynamicDFS(graph, service="brute", metrics=m, backend=backend)),
+        ("stream_classic", lambda m: SemiStreamingDynamicDFS(graph, rebuild_every=1, metrics=m, backend=backend)),
+        ("stream_amortized", lambda m: SemiStreamingDynamicDFS(graph, rebuild_every=AMORTIZED_K, metrics=m, backend=backend)),
+        ("dist_classic", lambda m: DistributedDynamicDFS(graph, rebuild_every=1, metrics=m, backend=backend)),
+        ("dist_amortized", lambda m: DistributedDynamicDFS(graph, rebuild_every=AMORTIZED_K, metrics=m, backend=backend)),
     ]
     for label, factory in combos:
         driver, metrics = _drive(label, factory, updates)
@@ -74,7 +78,7 @@ def _all_driver_maps(graph, updates):
         out[label] = (driver.parent_map(), metrics)
     # The fault-tolerant driver replays the whole batch from its preprocessed
     # state — the rebuild_every=infinity extreme of the same pipeline.
-    ft = FaultTolerantDFS(graph)
+    ft = FaultTolerantDFS(graph, backend=backend)
     tree, ft_graph = ft.query_with_graph(updates)
     assert check_dfs_tree(ft_graph, tree.parent_map()) == []
     out["fault_tolerant"] = (tree.parent_map(), ft.metrics)
@@ -94,11 +98,21 @@ def _assert_identical_and_valid(graph, updates, results):
     assert check_dfs_tree(static.graph, reference) == []
 
 
+def _both_backend_maps(graph, updates):
+    """Every combo on every backend, with cross-backend identity per label."""
+    results = _all_driver_maps(graph, updates, backend="dict")
+    for backend in BACKENDS[1:]:
+        other = _all_driver_maps(graph, updates, backend=backend)
+        for label, (parent, _) in other.items():
+            assert parent == results[label][0], f"{label}: {backend} backend diverged from dict"
+    return results
+
+
 @pytest.mark.parametrize("seed", [0, 1])
 def test_all_drivers_identical_on_sustained_churn(seed):
     scenario = build_scenario("sustained_churn", n=64, seed=seed, updates=100)
     updates = scenario.updates[:100]
-    results = _all_driver_maps(scenario.graph, updates)
+    results = _both_backend_maps(scenario.graph, updates)
     _assert_identical_and_valid(scenario.graph, updates, results)
 
     # Amortization claims: >=3x fewer service rebuilds, fewer passes/rounds.
@@ -118,7 +132,7 @@ def test_all_drivers_identical_on_sustained_churn(seed):
 def test_all_drivers_identical_on_mixed_updates(seed):
     scenario = build_scenario("social_network_churn", n=48, seed=seed, updates=0)
     updates = mixed_updates(scenario.graph, 40, seed=seed + 20)
-    results = _all_driver_maps(scenario.graph, updates)
+    results = _both_backend_maps(scenario.graph, updates)
     _assert_identical_and_valid(scenario.graph, updates, results)
 
 
@@ -131,27 +145,30 @@ DIFFERENTIAL_K = 3
 DIFFERENTIAL_REBASE_THRESHOLD = 2
 
 #: label -> driver factory.  One entry per driver x policy combination the
-#: harness must keep byte-identical; `metrics` is a strict recorder.
+#: harness must keep byte-identical; `metrics` is a strict recorder and `b`
+#: the storage backend the combo runs on (the harness crosses every combo
+#: with every entry of ``BACKENDS``).
 DIFFERENTIAL_COMBOS = [
-    ("core_classic", lambda g, m: FullyDynamicDFS(g, rebuild_every=1, metrics=m)),
-    ("core_amortized", lambda g, m: FullyDynamicDFS(g, rebuild_every=DIFFERENTIAL_K, metrics=m)),
+    ("core_classic", lambda g, m, b: FullyDynamicDFS(g, rebuild_every=1, metrics=m, backend=b)),
+    ("core_amortized", lambda g, m, b: FullyDynamicDFS(g, rebuild_every=DIFFERENTIAL_K, metrics=m, backend=b)),
     (
         "core_absorb_auto_rebase",
-        lambda g, m: FullyDynamicDFS(
+        lambda g, m, b: FullyDynamicDFS(
             g,
             rebuild_every=DIFFERENTIAL_K,
             d_maintenance="absorb",
             rebase_segment_threshold=DIFFERENTIAL_REBASE_THRESHOLD,
             metrics=m,
+            backend=b,
         ),
     ),
-    ("core_brute", lambda g, m: FullyDynamicDFS(g, service="brute", metrics=m)),
-    ("stream_classic", lambda g, m: SemiStreamingDynamicDFS(g, rebuild_every=1, metrics=m)),
-    ("stream_amortized", lambda g, m: SemiStreamingDynamicDFS(g, rebuild_every=DIFFERENTIAL_K, metrics=m)),
-    ("dist_classic", lambda g, m: DistributedDynamicDFS(g, rebuild_every=1, metrics=m)),
+    ("core_brute", lambda g, m, b: FullyDynamicDFS(g, service="brute", metrics=m, backend=b)),
+    ("stream_classic", lambda g, m, b: SemiStreamingDynamicDFS(g, rebuild_every=1, metrics=m, backend=b)),
+    ("stream_amortized", lambda g, m, b: SemiStreamingDynamicDFS(g, rebuild_every=DIFFERENTIAL_K, metrics=m, backend=b)),
+    ("dist_classic", lambda g, m, b: DistributedDynamicDFS(g, rebuild_every=1, metrics=m, backend=b)),
     (
         "dist_amortized_repair",
-        lambda g, m: DistributedDynamicDFS(g, rebuild_every=DIFFERENTIAL_K, local_repair=True, metrics=m),
+        lambda g, m, b: DistributedDynamicDFS(g, rebuild_every=DIFFERENTIAL_K, local_repair=True, metrics=m, backend=b),
     ),
     # Cost-model-controller-driven configurations: the auto-tuned policy where
     # every rebuild is demanded by a MaintenanceController model — the
@@ -159,22 +176,23 @@ DIFFERENTIAL_COMBOS = [
     # disables it, and the absorb auto-rebase under controller cadence.
     (
         "dist_auto_voluntary",
-        lambda g, m: DistributedDynamicDFS(g, rebuild_every=None, local_repair=True, metrics=m),
+        lambda g, m, b: DistributedDynamicDFS(g, rebuild_every=None, local_repair=True, metrics=m, backend=b),
     ),
     (
         "dist_auto_pure_repair",
-        lambda g, m: DistributedDynamicDFS(
-            g, rebuild_every=None, local_repair=True, drift_rebuild_cost=float("inf"), metrics=m
+        lambda g, m, b: DistributedDynamicDFS(
+            g, rebuild_every=None, local_repair=True, drift_rebuild_cost=float("inf"), metrics=m, backend=b
         ),
     ),
     (
         "core_absorb_auto_cadence",
-        lambda g, m: FullyDynamicDFS(
+        lambda g, m, b: FullyDynamicDFS(
             g,
             rebuild_every=None,
             d_maintenance="absorb",
             rebase_segment_threshold=DIFFERENTIAL_REBASE_THRESHOLD,
             metrics=m,
+            backend=b,
         ),
     ),
     # Per-component accounting configurations (PR 5): charging waves inside
@@ -183,14 +201,14 @@ DIFFERENTIAL_COMBOS = [
     # round ledger and the broadcast roots, never the maintained tree.
     (
         "dist_auto_legacy_accounting",
-        lambda g, m: DistributedDynamicDFS(
-            g, rebuild_every=None, local_repair=True, component_accounting=False, metrics=m
+        lambda g, m, b: DistributedDynamicDFS(
+            g, rebuild_every=None, local_repair=True, component_accounting=False, metrics=m, backend=b
         ),
     ),
     (
         "dist_auto_initiator_root",
-        lambda g, m: DistributedDynamicDFS(
-            g, rebuild_every=None, local_repair=True, voluntary_root="initiator", metrics=m
+        lambda g, m, b: DistributedDynamicDFS(
+            g, rebuild_every=None, local_repair=True, voluntary_root="initiator", metrics=m, backend=b
         ),
     ),
 ]
@@ -259,8 +277,11 @@ def test_differential_harness_identical_at_every_step(case):
     graph, ops = case
     updates = _decode_ops(graph, ops)
     assume(updates)
+    # Every combo on every storage backend, all compared against one another
+    # after every single update — the dict/array byte-identity pin.
     drivers = [
-        (label, factory(graph, MetricsRecorder(label, strict=True)))
+        (f"{label}[{backend}]", factory(graph, MetricsRecorder(label, strict=True), backend))
+        for backend in BACKENDS
         for label, factory in DIFFERENTIAL_COMBOS
     ]
     for step, update in enumerate(updates):

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Diff two ``BENCH_<experiment>.json`` trajectory files.
+
+Usage::
+
+    python tools/bench_compare.py BASELINE.json CURRENT.json [--timing-tolerance 4.0]
+
+Comparison rules (see docs/benchmarks.md for the schema):
+
+* ``schema`` / ``experiment`` / ``scale`` must match exactly — comparing a
+  ``small`` smoke run against a committed ``normal`` trajectory is an error,
+  not a perf regression.
+* ``counters`` and ``asserts`` must match exactly: they are deterministic
+  model quantities (work counts, probe counts, enforced speedup floors), so
+  *any* drift is a behaviour change.
+* ``timings_ms`` are wall-clock and machine-dependent: each entry must agree
+  within a multiplicative tolerance band (default 4x either way).  Keys must
+  match exactly.
+* ``tables``: integer leaves compare exactly (they are counters); float
+  leaves use the timing tolerance (they may be timing-derived, e.g. the E11
+  speedup columns).
+
+Exits 0 when the trajectories agree, 1 with a per-key report otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List
+
+
+def _within(a: float, b: float, tol: float) -> bool:
+    if a == b:
+        return True
+    if a <= 0 or b <= 0:
+        return False
+    ratio = a / b if a > b else b / a
+    return ratio <= tol
+
+
+def _compare_scalars(path: str, base, cur, tol: float, errors: List[str], *, exact: bool) -> None:
+    if isinstance(base, bool) or isinstance(cur, bool) or not all(
+        isinstance(x, (int, float)) for x in (base, cur)
+    ):
+        if base != cur:
+            errors.append(f"{path}: {base!r} != {cur!r}")
+        return
+    if exact or (isinstance(base, int) and isinstance(cur, int)):
+        if base != cur:
+            errors.append(f"{path}: expected {base!r}, got {cur!r} (exact match required)")
+    elif not _within(float(base), float(cur), tol):
+        errors.append(f"{path}: {base!r} vs {cur!r} exceeds {tol}x tolerance band")
+
+
+def _compare_mapping(path: str, base: dict, cur: dict, tol: float, errors: List[str], *, exact: bool) -> None:
+    for key in sorted(set(base) | set(cur)):
+        sub = f"{path}.{key}"
+        if key not in base:
+            errors.append(f"{sub}: only in current")
+        elif key not in cur:
+            errors.append(f"{sub}: only in baseline")
+        else:
+            b, c = base[key], cur[key]
+            if isinstance(b, dict) and isinstance(c, dict):
+                _compare_mapping(sub, b, c, tol, errors, exact=exact)
+            elif isinstance(b, list) and isinstance(c, list):
+                if len(b) != len(c):
+                    errors.append(f"{sub}: length {len(b)} != {len(c)}")
+                else:
+                    for i, (bi, ci) in enumerate(zip(b, c)):
+                        _compare_scalars(f"{sub}[{i}]", bi, ci, tol, errors, exact=exact)
+            else:
+                _compare_scalars(sub, b, c, tol, errors, exact=exact)
+
+
+def compare(baseline: dict, current: dict, timing_tolerance: float) -> List[str]:
+    """Return a list of mismatch descriptions (empty = trajectories agree)."""
+    errors: List[str] = []
+    for key in ("schema", "experiment", "scale"):
+        if baseline.get(key) != current.get(key):
+            errors.append(
+                f"{key}: baseline {baseline.get(key)!r} != current {current.get(key)!r}"
+            )
+    if errors:  # different experiment/scale: element-wise diffs are noise
+        return errors
+    _compare_mapping("counters", baseline.get("counters", {}), current.get("counters", {}), timing_tolerance, errors, exact=True)
+    _compare_mapping("asserts", baseline.get("asserts", {}), current.get("asserts", {}), timing_tolerance, errors, exact=True)
+    _compare_mapping("timings_ms", baseline.get("timings_ms", {}), current.get("timings_ms", {}), timing_tolerance, errors, exact=False)
+    _compare_mapping("tables", baseline.get("tables", {}), current.get("tables", {}), timing_tolerance, errors, exact=False)
+    return errors
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed BENCH_<experiment>.json")
+    parser.add_argument("current", help="freshly generated BENCH_<experiment>.json")
+    parser.add_argument(
+        "--timing-tolerance",
+        type=float,
+        default=4.0,
+        help="allowed multiplicative drift for wall-clock entries (default 4x)",
+    )
+    args = parser.parse_args(argv)
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+    with open(args.current) as fh:
+        current = json.load(fh)
+    errors = compare(baseline, current, args.timing_tolerance)
+    if errors:
+        print(f"TRAJECTORY MISMATCH ({args.baseline} vs {args.current}):")
+        for err in errors:
+            print(f"  - {err}")
+        return 1
+    print(
+        f"OK: {args.current} matches the committed trajectory "
+        f"(counters exact, timings within {args.timing_tolerance}x)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
