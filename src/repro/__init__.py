@@ -14,6 +14,10 @@ Public API highlights
 * :class:`repro.distributed.DistributedDynamicDFS` — the same algorithm in the
   synchronous CONGEST(n/D) model, metering rounds and messages (Theorem 16).
 * :mod:`repro.pram` — the EREW PRAM cost-model substrate (Theorems 4–8).
+* :class:`repro.service.DFSTreeService` — MVCC snapshot query service: every
+  commit publishes a versioned immutable :class:`repro.service.TreeSnapshot`
+  readers query lock-free (batched/async via
+  :class:`repro.service.BatchingQueryFront`).
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the experiment
 index mapping every theorem/figure to a benchmark.
@@ -35,6 +39,7 @@ from repro.core.updates import (
     VertexInsertion,
 )
 from repro.metrics.counters import MetricsRecorder
+from repro.service import BatchingQueryFront, DFSTreeService, TreeSnapshot
 
 __all__ = [
     "__version__",
@@ -54,4 +59,7 @@ __all__ = [
     "VertexInsertion",
     "VertexDeletion",
     "MetricsRecorder",
+    "DFSTreeService",
+    "TreeSnapshot",
+    "BatchingQueryFront",
 ]

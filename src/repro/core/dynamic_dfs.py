@@ -361,6 +361,12 @@ class FullyDynamicDFS:
         """The shared :class:`UpdateEngine` driving this adapter."""
         return self._engine
 
+    def add_commit_listener(self, listener) -> None:
+        """Register *listener* to run with the committed tree after every
+        update (the MVCC snapshot-publication hook; see
+        :meth:`UpdateEngine.add_commit_listener`)."""
+        self._engine.add_commit_listener(listener)
+
     def overlay_budget(self) -> int:
         """Overlay size that triggers a rebuild under the auto-tuned policy."""
         return int(self._backend.overlay_budget())

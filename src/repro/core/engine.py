@@ -220,6 +220,7 @@ class UpdateEngine:
         self._validate = validate
         self._updates_since_rebuild = 0
         self._updates_applied = 0
+        self._commit_listeners: List[Callable[[DFSTree], None]] = []
         if initial_rebuild:
             self._do_rebuild(None)
             if self._validate:
@@ -275,6 +276,19 @@ class UpdateEngine:
     def is_valid(self) -> bool:
         """True iff the maintained tree is a valid DFS forest of the graph."""
         return not check_dfs_tree(self.backend.graph, self._tree.parent_map())
+
+    def add_commit_listener(self, listener: Callable[[DFSTree], None]) -> None:
+        """Register *listener* to run after every committed update.
+
+        The listener receives the committed :class:`DFSTree` (immutable; the
+        engine never mutates a committed tree) right after
+        :meth:`Backend.on_commit`, once per applied update — including updates
+        that left the tree object unchanged, so listeners can count commits.
+        It runs on the writer's thread: keep it O(1) (publish a pointer, bump
+        a counter) and defer heavy work to readers.  This is the hook the
+        MVCC snapshot service (:mod:`repro.service`) builds on.
+        """
+        self._commit_listeners.append(listener)
 
     # ------------------------------------------------------------------ #
     # Update API
@@ -390,6 +404,8 @@ class UpdateEngine:
             with self.metrics.timer("rebuild_tree"):
                 self._tree = DFSTree(new_parent, root=VIRTUAL_ROOT)
         backend.on_commit(self._tree)
+        for listener in self._commit_listeners:
+            listener(self._tree)
         backend.end_update(update)
 
     def _make_reroot_engine(self, service: QueryService):

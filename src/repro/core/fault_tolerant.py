@@ -116,6 +116,7 @@ class FaultTolerantDFS:
         self._backend_name = resolve_backend(backend)
         self._graph0 = native_graph(graph, self._backend_name, copy=True)
         self._validate = validate
+        self._commit_listeners: list = []
         self.metrics = metrics or MetricsRecorder("fault_tolerant_dfs")
         with self.metrics.timer("preprocess"):
             parent = static_dfs_forest(self._graph0)
@@ -144,6 +145,14 @@ class FaultTolerantDFS:
         """Size of the preprocessed structure (``O(m)``)."""
         return self._structure.size()
 
+    def add_commit_listener(self, listener) -> None:
+        """Register *listener* to run with each tree committed while a query
+        replays its update batch (the MVCC snapshot-publication hook).  This
+        driver builds a fresh throwaway engine per :meth:`query`, so listeners
+        are stored here and re-registered on every query's engine; versions
+        keep increasing monotonically across queries."""
+        self._commit_listeners.append(listener)
+
     # ------------------------------------------------------------------ #
     def query(self, updates: Sequence[Update]) -> DFSTree:
         """Return a DFS tree of ``graph + updates`` using only the preprocessed
@@ -167,6 +176,8 @@ class FaultTolerantDFS:
             metrics=self.metrics,
             initial_rebuild=False,
         )
+        for listener in self._commit_listeners:
+            engine.add_commit_listener(listener)
         try:
             for update in updates:
                 engine.apply(update)

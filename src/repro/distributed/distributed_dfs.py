@@ -889,6 +889,12 @@ class DistributedDynamicDFS:
         """The shared :class:`UpdateEngine` driving this adapter."""
         return self._engine
 
+    def add_commit_listener(self, listener) -> None:
+        """Register *listener* to run with the committed tree after every
+        update (the MVCC snapshot-publication hook; see
+        :meth:`UpdateEngine.add_commit_listener`)."""
+        self._engine.add_commit_listener(listener)
+
     def is_valid(self) -> bool:
         """Validate the maintained forest."""
         return self._engine.is_valid()

@@ -89,7 +89,8 @@ def static_dfs_forest(
     """
     parent: Dict[Vertex, Optional[Vertex]] = {VIRTUAL_ROOT: None}
     start_order: List[Vertex] = list(roots) if roots is not None else []
-    start_order.extend(v for v in graph.vertices() if v not in start_order)
+    started = set(start_order)
+    start_order.extend(v for v in graph.vertices() if v not in started)
     for r in start_order:
         if r in parent:
             continue

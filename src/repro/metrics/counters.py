@@ -53,14 +53,21 @@ WELL_KNOWN_COUNTERS: Dict[str, str] = {
     "d_reanchor_probes": "adjacency entries touched while re-anchoring canonical source endpoints",
     "d_overlay_view_queries": "queries answered while D's base tree differs from the current tree",
     # Array backend (flat/CSR core of ArrayStructureD)
-    "d_flat_materializations": "flat array rows degraded to python lists (one-way, before the first absorb)",
+    "d_flat_materializations": "flat array rows degraded to python lists (only when an overlay absorb involves vertex updates; edge-only absorbs stay flat)",
+    "d_flat_absorbs": "vectorized in-place absorbs of edge-only overlays into the flat array core (no materialization)",
     "d_batch_queries": "batched min-postorder re-anchor calls answered by D",
     "d_batch_query_fallbacks": "batched re-anchor calls that fell back entirely to the scalar path",
     # Query services
     "queries": "EdgeQuery objects answered by a query service",
-    "query_batches": "independent query batches (one parallel round each)",
+    "query_batches": "independent query batches (one parallel round each; also: coalesced flushes of the snapshot service's batch front)",
     "query_rounds": "parallel query rounds spent by the reroot engine",
     "max_queries_per_round": "largest independent query batch in one round",
+    # MVCC snapshot service (repro.service)
+    "snapshots_published": "versioned TreeSnapshots published by DFSTreeService commit hooks",
+    "snapshot_build_ms": "milliseconds spent lazily building snapshot indices (Euler tour / LCA / component ids; paid once per version by the first reader that needs them)",
+    "queries_served": "reader queries answered from published snapshots (scalar and batched)",
+    "max_query_batch_size": "largest coalesced batch one snapshot query pass answered",
+    "snapshot_staleness_updates": "total staleness observed by snapshot reads, in committed-but-unpublished-to-this-reader updates (committed_version - snapshot.version summed over answered queries)",
     # Reduction (Theorem 11)
     "reductions": "reduce_update() calls",
     "reduction_tasks": "independent rerooting tasks produced by reductions",

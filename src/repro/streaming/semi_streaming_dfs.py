@@ -359,6 +359,12 @@ class SemiStreamingDynamicDFS:
         """The shared :class:`UpdateEngine` driving this adapter."""
         return self._engine
 
+    def add_commit_listener(self, listener) -> None:
+        """Register *listener* to run with the committed tree after every
+        update (the MVCC snapshot-publication hook; see
+        :meth:`UpdateEngine.add_commit_listener`)."""
+        self._engine.add_commit_listener(listener)
+
     def local_space(self) -> int:
         """Vertices of state kept between passes: ``O(n)`` for the classic
         policy, plus the ``O(m)`` snapshot in the amortized hybrid."""

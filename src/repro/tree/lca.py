@@ -256,18 +256,32 @@ class ArrayLCAIndex:
             idx = self._tree._idx
             ia = np.fromiter((idx[a] for a in avs), dtype=np.int64, count=na)
             ib = np.fromiter((idx[b] for b in bvs), dtype=np.int64, count=na)
+        return self._verts[self.lca_indices_batch(ia, ib)].tolist()
+
+    def lca_indices_batch(self, ia, ib):
+        """Vectorized LCA core over *tree index* arrays.
+
+        Takes two aligned int64 arrays of tree indices (as used by
+        ``tree.as_arrays()``) and returns the int64 array of LCA tree indices.
+        :meth:`lca_batch` is this plus the vertex-id resolution on both ends;
+        callers that already hold indices (e.g. the snapshot service's
+        vectorized path-length) skip the conversions entirely.
+        """
+        np = self._np
         fa = self._first[ia]
         fb = self._first[ib]
-        if na and (int(fa.min()) < 0 or int(fb.min()) < 0):
-            bad = avs[int(np.argmin(fa))] if int(fa.min()) < 0 else bvs[int(np.argmin(fb))]
-            raise TreeError(f"vertex {bad!r} is not indexed by this LCA structure")
+        if len(ia) and (int(fa.min()) < 0 or int(fb.min()) < 0):
+            bad_i = int(ia[int(np.argmin(fa))]) if int(fa.min()) < 0 else int(ib[int(np.argmin(fb))])
+            raise TreeError(
+                f"vertex {self._tree._verts[bad_i]!r} is not indexed by this LCA structure"
+            )
         lo = np.minimum(fa, fb)
         hi = np.maximum(fa, fb)
         ks = self._log[hi - lo + 1]
         left = self._table[ks, lo]
         right = self._table[ks, hi - np.left_shift(1, ks) + 1]
         mins = np.where(self._depths[left] <= self._depths[right], left, right)
-        return self._verts[self._tour[mins]].tolist()
+        return self._tour[mins]
 
     def is_ancestor(self, a: Vertex, b: Vertex) -> bool:
         """True iff *a* is an ancestor of *b* (O(1) via entry/exit intervals)."""

@@ -1,0 +1,148 @@
+"""BatchingQueryFront: coalescing, versions, error isolation, churn overlap.
+
+No pytest-asyncio dependency: each test drives its own loop via
+``asyncio.run``.  The load-bearing claims are that one burst of concurrent
+awaits becomes ONE flush (one ``query_batches`` increment, one shared
+version), that ``max_batch`` bounds flush size, and that readers awaiting
+mid-churn get answers consistent with *some* published version — MVCC, not
+torn state.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+import pytest
+
+from repro.core.dynamic_dfs import FullyDynamicDFS
+from repro.exceptions import VertexNotFound
+from repro.metrics.counters import MetricsRecorder
+from repro.service import BatchingQueryFront, DFSTreeService, QueryResult
+from repro.workloads.scenarios import build_scenario
+
+
+def _setup(n=48, seed=2, updates=20, **front_kw):
+    scenario = build_scenario("sustained_churn", n=n, seed=seed, updates=updates)
+    metrics = MetricsRecorder("front", strict=True)
+    driver = FullyDynamicDFS(scenario.graph.copy(), rebuild_every=4, metrics=metrics)
+    svc = DFSTreeService(driver, metrics=metrics)
+    front = BatchingQueryFront(svc, **front_kw)
+    return driver, svc, front, metrics, scenario.updates[:updates]
+
+
+def test_gather_burst_coalesces_into_one_flush():
+    driver, svc, front, metrics, updates = _setup()
+    for update in updates:
+        driver.apply(update)
+    verts = [v for v in driver.graph.vertices()]
+    rng = random.Random(5)
+    pairs = [(rng.choice(verts), rng.choice(verts)) for _ in range(40)]
+
+    async def run():
+        return await asyncio.gather(
+            *[front.lca(a, b) for a, b in pairs],
+            *[front.connected(a, b) for a, b in pairs[:10]],
+            *[front.subtree_size(a) for a, _ in pairs[:7]],
+        )
+
+    base = metrics["query_batches"]
+    results = asyncio.run(run())
+    assert metrics["query_batches"] == base + 1  # one flush for the burst
+    assert metrics["max_query_batch_size"] == 57
+    versions = {r.version for r in results}
+    assert versions == {svc.version}
+    snap = svc.snapshot()
+    expected = snap.lca_batch([a for a, _ in pairs], [b for _, b in pairs])
+    assert [r.answer for r in results[:40]] == expected
+    assert all(isinstance(r, QueryResult) for r in results)
+
+
+def test_max_batch_flushes_early():
+    driver, svc, front, metrics, updates = _setup(max_batch=8)
+    for update in updates[:4]:
+        driver.apply(update)
+    verts = list(driver.graph.vertices())
+
+    async def run():
+        return await asyncio.gather(*[front.subtree_size(verts[i % len(verts)]) for i in range(20)])
+
+    base = metrics["query_batches"]
+    asyncio.run(run())
+    # 20 queries with max_batch=8: two full early flushes + the tick's tail
+    assert metrics["query_batches"] == base + 3
+    assert metrics["max_query_batch_size"] == 8
+
+
+def test_coalescing_window_tick():
+    driver, svc, front, metrics, updates = _setup(tick=0.01)
+    driver.apply(updates[0])
+    verts = list(driver.graph.vertices())
+
+    async def run():
+        first = asyncio.create_task(front.lca(verts[0], verts[1]))
+        await asyncio.sleep(0)  # first enqueued, timer armed
+        second = asyncio.create_task(front.lca(verts[2], verts[3]))
+        return await asyncio.gather(first, second)
+
+    base = metrics["query_batches"]
+    asyncio.run(run())
+    assert metrics["query_batches"] == base + 1  # both inside one window
+
+
+def test_bad_query_fails_only_its_own_future():
+    driver, svc, front, metrics, updates = _setup()
+    driver.apply(updates[0])
+    verts = list(driver.graph.vertices())
+
+    async def run():
+        good = front.lca(verts[0], verts[1])
+        bad = front.lca(verts[0], "missing-vertex")
+        good2 = front.subtree_size(verts[2])
+        results = await asyncio.gather(good, bad, good2, return_exceptions=True)
+        return results
+
+    r_good, r_bad, r_good2 = asyncio.run(run())
+    assert isinstance(r_bad, Exception)
+    assert isinstance(r_good, QueryResult)
+    assert r_good.answer == svc.snapshot().lca(verts[0], verts[1])
+    assert r_good2.answer == svc.snapshot().subtree_size(verts[2])
+
+
+def test_readers_overlapping_churn_see_consistent_versions():
+    """Readers awaiting while the writer commits between bursts: every answer
+    matches a recomputation against the *published map of its version* — the
+    MVCC guarantee the service exists for."""
+    driver, svc, front, metrics, updates = _setup(seed=6, updates=16)
+    maps_by_version = {0: svc.snapshot().parent_map()}
+    rng = random.Random(11)
+
+    async def run():
+        results = []
+        verts = list(driver.graph.vertices())
+        for update in updates:
+            driver.apply(update)
+            maps_by_version[svc.version] = svc.snapshot().parent_map()
+            live = [v for v in driver.graph.vertices()]
+            pairs = [(rng.choice(live), rng.choice(live)) for _ in range(6)]
+            answers = await asyncio.gather(*[front.path_length(a, b) for a, b in pairs])
+            results.append((pairs, answers))
+        return results
+
+    results = asyncio.run(run())
+    from repro.service.snapshot import TreeSnapshot
+    from repro.tree.dfs_tree import DFSTree
+    from repro.constants import VIRTUAL_ROOT
+
+    for pairs, answers in results:
+        version = answers[0].version
+        assert {r.version for r in answers} == {version}
+        replay = TreeSnapshot(version, DFSTree(maps_by_version[version], root=VIRTUAL_ROOT))
+        for (a, b), got in zip(pairs, answers):
+            assert got.answer == replay.path_length(a, b)
+
+
+def test_max_batch_validation():
+    driver, svc, front, metrics, _ = _setup()
+    with pytest.raises(ValueError):
+        BatchingQueryFront(svc, max_batch=0)

@@ -1,0 +1,110 @@
+"""TreeSnapshot unit tests: scalar semantics, batch==scalar, both query paths.
+
+The snapshot is the MVCC read currency, so these tests pin the semantics the
+service and the asyncio front build on: virtual-root sentinels never leak
+(``None``/``False`` instead), every ``*_batch`` method equals its scalar
+counterpart element for element, and the numpy-free fallback path answers
+byte-identically to the vectorized path.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+import repro.backends as backends
+from repro.constants import VIRTUAL_ROOT, is_virtual_root
+from repro.exceptions import VertexNotFound
+from repro.graph.generators import gnp_random_graph
+from repro.graph.traversal import static_dfs_forest
+from repro.service import TreeSnapshot
+from repro.tree.dfs_tree import DFSTree
+
+
+def _snapshot(n=40, p=0.08, seed=5, version=7):
+    g = gnp_random_graph(n, p, seed=seed)  # sparse: usually disconnected
+    tree = DFSTree(static_dfs_forest(g), root=VIRTUAL_ROOT)
+    return g, tree, TreeSnapshot(version, tree)
+
+
+@pytest.fixture(params=["numpy", "fallback"])
+def query_path(request, monkeypatch):
+    """Run the test body once per snapshot query path."""
+    if request.param == "fallback":
+        monkeypatch.setattr(backends, "HAVE_NUMPY", False)
+    return request.param
+
+
+def test_scalar_queries_match_tree_semantics(query_path):
+    g, tree, snap = _snapshot()
+    assert snap.version == 7
+    verts = [v for v in tree.vertices() if not is_virtual_root(v)]
+    for v in verts:
+        p = snap.parent(v)
+        tp = tree.parent(v)
+        assert p == (None if tp is None or is_virtual_root(tp) else tp)
+        assert snap.depth(v) == tree.level(v)
+        assert snap.subtree_size(v) == tree.subtree_size(v)
+        comp = snap.component(v)
+        assert comp == tree.level_ancestor(v, 1)
+    rng = random.Random(3)
+    for _ in range(150):
+        a, b = rng.choice(verts), rng.choice(verts)
+        raw = tree.lca(a, b)
+        expect = None if is_virtual_root(raw) else raw
+        assert snap.lca(a, b) == expect
+        assert snap.connected(a, b) == (expect is not None)
+        if expect is None:
+            assert snap.path_length(a, b) is None
+        else:
+            assert snap.path_length(a, b) == (
+                tree.level(a) + tree.level(b) - 2 * tree.level(expect)
+            )
+        assert snap.is_ancestor(a, b) == tree.is_ancestor(a, b)
+
+
+def test_batch_equals_scalar_all_kinds(query_path):
+    _, tree, snap = _snapshot(seed=11)
+    verts = [v for v in tree.vertices() if not is_virtual_root(v)]
+    rng = random.Random(17)
+    avs = [rng.choice(verts) for _ in range(120)]
+    bvs = [rng.choice(verts) for _ in range(120)]
+    assert snap.lca_batch(avs, bvs) == [snap.lca(a, b) for a, b in zip(avs, bvs)]
+    assert snap.connected_batch(avs, bvs) == [
+        snap.connected(a, b) for a, b in zip(avs, bvs)
+    ]
+    assert snap.is_ancestor_batch(avs, bvs) == [
+        snap.is_ancestor(a, b) for a, b in zip(avs, bvs)
+    ]
+    assert snap.path_length_batch(avs, bvs) == [
+        snap.path_length(a, b) for a, b in zip(avs, bvs)
+    ]
+    assert snap.subtree_size_batch(avs) == [snap.subtree_size(v) for v in avs]
+    assert snap.component_batch(avs) == [snap.component(v) for v in avs]
+
+
+def test_unknown_vertex_raises_vertex_not_found(query_path):
+    _, tree, snap = _snapshot()
+    known = next(v for v in tree.vertices() if not is_virtual_root(v))
+    with pytest.raises(VertexNotFound):
+        snap.subtree_size_batch([known, "nope"])
+    with pytest.raises((VertexNotFound, Exception)):
+        snap.lca_batch([known], ["nope"])
+
+
+def test_parent_map_is_the_trees_parent_map():
+    _, tree, snap = _snapshot()
+    assert snap.parent_map() == tree.parent_map()
+
+
+def test_lazy_index_built_once_and_reports_cost():
+    costs = []
+    g = gnp_random_graph(30, 0.1, seed=2)
+    tree = DFSTree(static_dfs_forest(g), root=VIRTUAL_ROOT)
+    snap = TreeSnapshot(1, tree, on_build_ms=costs.append)
+    assert costs == []  # publication is O(1): nothing built yet
+    verts = [v for v in tree.vertices() if not is_virtual_root(v)]
+    snap.lca(verts[0], verts[1])
+    snap.lca_batch(verts[:4], verts[4:8])
+    assert len(costs) == 1 and costs[0] >= 0.0

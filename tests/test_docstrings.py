@@ -19,11 +19,12 @@ from repro.core.maintenance import CostModel, CostSignal, MaintenanceController
 from repro.distributed.distributed_dfs import CongestBackend, DistributedDynamicDFS
 from repro.distributed.network import CongestNetwork
 from repro.metrics.counters import MetricsRecorder
+from repro.service import BatchingQueryFront, DFSTreeService, TreeSnapshot
 from repro.streaming.semi_streaming_dfs import SemiStreamingDynamicDFS
 
 #: The exported API surface the docstring contract covers: the four public
 #: drivers, the shared engine/backend protocol, the maintenance controller,
-#: the metrics recorder and the CONGEST simulator.
+#: the metrics recorder, the CONGEST simulator and the MVCC query service.
 PUBLIC_CLASSES = [
     FullyDynamicDFS,
     FaultTolerantDFS,
@@ -37,6 +38,9 @@ PUBLIC_CLASSES = [
     CostModel,
     CostSignal,
     MetricsRecorder,
+    DFSTreeService,
+    TreeSnapshot,
+    BatchingQueryFront,
 ]
 
 
