@@ -1,0 +1,192 @@
+"""E13 — sharded multi-tenant engine: aggregate fleet throughput.
+
+Documented in ``docs/benchmarks.md`` (E13).
+
+Claim: a fleet of 10^3 independent tenant graphs behind the
+:class:`~repro.shard.ShardRouter` (4 workers, 16 logical shards, auto
+amortized rebuild policy, snapshot cadence ``publish_every=4``, one routed
+``apply_many`` round trip per churn round) sustains **>= 3x** the aggregate
+update throughput of the classic single-process deployment — one
+``FullyDynamicDFS(rebuild_every=1)`` + per-commit-publishing
+``DFSTreeService`` per tenant, updates applied one by one — with
+*byte-identical* per-tenant parent maps, including across a mid-churn shard
+rebalance (drain, replay-from-genesis, byte-identity asserted by the router).
+
+The floor is configuration-honest on a single core: the sharded stack wins by
+amortizing ``D`` rebuilds across each tenant's churn (the dense n=512 tenant
+graphs make a per-update rebuild cost visibly more than overlay service) and
+by batching the routing round trips; worker-process parallelism adds real
+speedup on top wherever CI has more than one core.
+
+Per-update p50/p99 latencies (baseline) and per-round routing latencies
+(sharded) are persisted to ``BENCH_E13.json`` alongside the deterministic
+fleet counters; CI reruns the small tier and diffs the trajectory with
+``tools/bench_compare.py``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import emit_bench, record_table, scale_sizes
+from repro.core.dynamic_dfs import FullyDynamicDFS
+from repro.metrics.counters import MetricsRecorder
+from repro.service import DFSTreeService
+from repro.shard import ShardRouter
+from repro.workloads.multi_tenant import multi_tenant_churn, round_items
+
+THROUGHPUT_SPEEDUP_MIN = 3.0
+ROUNDS = 3
+UPDATES_PER_ROUND = 4
+TENANT_N = 512
+TENANT_DEGREE = 16.0
+NUM_WORKERS = 4
+NUM_SHARDS = 16
+
+
+def _percentile(samples, q):
+    ordered = sorted(samples)
+    idx = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[idx]
+
+
+@pytest.mark.benchmark(group="E13-sharding")
+def test_sharded_fleet_beats_single_process_baseline(benchmark):
+    num_tenants = scale_sizes([1_000], [100])[0]
+    tenants = multi_tenant_churn(
+        num_tenants,
+        n=TENANT_N,
+        rounds=ROUNDS,
+        updates_per_round=UPDATES_PER_ROUND,
+        seed=42,
+        avg_degree=TENANT_DEGREE,
+    )
+    total_updates = num_tenants * ROUNDS * UPDATES_PER_ROUND
+
+    # ------------------------------------------------------------------ #
+    # Baseline: the classic single-process deployment, one tenant at a
+    # time (per-update D rebuild, per-commit snapshot publication, scalar
+    # apply loop).  Drivers are discarded after their run — only the final
+    # parent map (the byte-identity currency) is kept.
+    # ------------------------------------------------------------------ #
+    baseline_maps = {}
+    update_latencies_ms = []
+    t0 = time.perf_counter()
+    for t in tenants:
+        driver = FullyDynamicDFS(t.graph.copy(), rebuild_every=1)
+        DFSTreeService(driver, publish_every=1)
+        for rnd in t.rounds:
+            for update in rnd:
+                u0 = time.perf_counter()
+                driver.apply(update)
+                update_latencies_ms.append((time.perf_counter() - u0) * 1e3)
+        baseline_maps[t.tenant_id] = driver.parent_map()
+    baseline_s = time.perf_counter() - t0
+    baseline_tput = total_updates / baseline_s
+
+    # ------------------------------------------------------------------ #
+    # Sharded: the same fleet behind the router — one apply_many round
+    # trip per churn round, one mid-churn shard rebalance.
+    # ------------------------------------------------------------------ #
+    router_metrics = MetricsRecorder("e13_router", strict=True)
+    round_latencies_ms = []
+    with ShardRouter(
+        num_workers=NUM_WORKERS,
+        num_shards=NUM_SHARDS,
+        mode="process",
+        publish_every=4,
+        metrics=router_metrics,
+    ) as router:
+        for t in tenants:
+            router.create_tenant(t.tenant_id, t.graph)
+        moved_shard = router.shard_of(tenants[0].tenant_id)
+        t0 = time.perf_counter()
+        for rnd in range(ROUNDS):
+            if rnd == 1:  # rebalance mid-churn; byte-identity asserted inside
+                router.move_shard(
+                    moved_shard, (router.worker_of_shard(moved_shard) + 1) % NUM_WORKERS
+                )
+            r0 = time.perf_counter()
+            router.apply_many(round_items(tenants, rnd))
+            round_latencies_ms.append((time.perf_counter() - r0) * 1e3)
+        sharded_s = time.perf_counter() - t0
+        sharded_tput = total_updates / sharded_s
+
+        # Byte-identical per-tenant parent maps across deployments.
+        for t in tenants:
+            assert router.parent_map(t.tenant_id) == baseline_maps[t.tenant_id], t.tenant_id
+
+        fleet = router.fleet_metrics()
+
+    speedup = sharded_tput / baseline_tput
+    assert speedup >= THROUGHPUT_SPEEDUP_MIN, (
+        f"E13: sharded fleet only {speedup:.2f}x the single-process baseline "
+        f"(floor {THROUGHPUT_SPEEDUP_MIN}x) at {num_tenants} tenants"
+    )
+
+    # Deterministic fleet counters: the routed volume, the rebalance, and the
+    # replay it performed.
+    assert fleet["shard_tenants_created"] == num_tenants
+    assert fleet["shard_updates_routed"] == total_updates
+    assert fleet["shard_moves"] == 1
+    assert fleet["updates"] == total_updates + fleet["shard_replayed_updates"]
+
+    record_table(
+        benchmark,
+        "E13_fleet_throughput",
+        [num_tenants],
+        {
+            "throughput_speedup": [round(speedup, 1)],
+            "updates_per_sec_baseline": [round(baseline_tput, 0)],
+            "updates_per_sec_sharded": [round(sharded_tput, 0)],
+            "tenants_rebalanced": [int(fleet["shard_tenants_moved"])],
+            "replayed_updates": [int(fleet["shard_replayed_updates"])],
+        },
+    )
+    emit_bench(
+        "E13",
+        timings_ms={
+            "baseline_churn": round(baseline_s * 1e3, 3),
+            "sharded_churn": round(sharded_s * 1e3, 3),
+            "baseline_update_p50": round(_percentile(update_latencies_ms, 0.50), 3),
+            "baseline_update_p99": round(_percentile(update_latencies_ms, 0.99), 3),
+            "sharded_round_p50": round(_percentile(round_latencies_ms, 0.50), 3),
+            "sharded_round_p99": round(_percentile(round_latencies_ms, 0.99), 3),
+        },
+        counters={
+            "num_tenants": num_tenants,
+            "tenant_n": TENANT_N,
+            "rounds": ROUNDS,
+            "updates_per_round": UPDATES_PER_ROUND,
+            "num_workers": NUM_WORKERS,
+            "num_shards": NUM_SHARDS,
+            "updates_routed": int(fleet["shard_updates_routed"]),
+            "update_batches_routed": int(fleet["shard_update_batches_routed"]),
+            "shard_moves": int(fleet["shard_moves"]),
+            "tenants_rebalanced": int(fleet["shard_tenants_moved"]),
+            "replayed_updates": int(fleet["shard_replayed_updates"]),
+            "snapshots_published": int(fleet["snapshots_published"]),
+        },
+        asserts={"throughput_speedup_min": THROUGHPUT_SPEEDUP_MIN},
+    )
+
+    # The repeatable hot loop for pytest-benchmark: a routed snapshot query
+    # round against a small resident fleet (the claim above is the full run).
+    bench_tenants = multi_tenant_churn(
+        8, n=64, rounds=1, updates_per_round=UPDATES_PER_ROUND, seed=7
+    )
+    with ShardRouter(num_workers=2, num_shards=4, mode="inline") as small:
+        for t in bench_tenants:
+            small.create_tenant(t.tenant_id, t.graph)
+            small.apply(t.tenant_id, t.rounds[0])
+        probes = {
+            t.tenant_id: sorted(t.graph.vertices())[:16] for t in bench_tenants
+        }
+
+        def one_query_round():
+            for tenant_id, verts in probes.items():
+                small.query(tenant_id, "connected", verts[:8], verts[8:])
+
+        benchmark(one_query_round)

@@ -367,6 +367,12 @@ class FullyDynamicDFS:
         :meth:`UpdateEngine.add_commit_listener`)."""
         self._engine.add_commit_listener(listener)
 
+    def remove_commit_listener(self, listener) -> None:
+        """Deregister a commit listener (the service-detach hook; unknown
+        listeners are ignored — see
+        :meth:`UpdateEngine.remove_commit_listener`)."""
+        self._engine.remove_commit_listener(listener)
+
     def overlay_budget(self) -> int:
         """Overlay size that triggers a rebuild under the auto-tuned policy."""
         return int(self._backend.overlay_budget())

@@ -287,8 +287,38 @@ class UpdateEngine:
         It runs on the writer's thread: keep it O(1) (publish a pointer, bump
         a counter) and defer heavy work to readers.  This is the hook the
         MVCC snapshot service (:mod:`repro.service`) builds on.
+
+        Listeners are *isolated*: one that raises never poisons the writer —
+        the exception is swallowed (counted under ``commit_listener_errors``),
+        the remaining listeners still run, and the backend's
+        :meth:`Backend.end_update` is still guaranteed to run, so the update
+        pipeline can never be left mid-update by a misbehaving observer.
         """
         self._commit_listeners.append(listener)
+
+    def remove_commit_listener(self, listener: Callable[[DFSTree], None]) -> None:
+        """Deregister a commit listener previously added with
+        :meth:`add_commit_listener`.
+
+        Removes one registration (matched by equality — bound methods like
+        ``service._on_commit`` are a fresh object per attribute access, so an
+        identity match would never fire — latest first, so a listener
+        registered twice needs two removals); unknown listeners are ignored,
+        which makes detach paths — e.g.
+        :meth:`repro.service.DFSTreeService.close` draining a shard —
+        idempotent.  Without this, a discarded service would keep receiving
+        (and snapshotting) every future commit forever.
+        """
+        for i in range(len(self._commit_listeners) - 1, -1, -1):
+            if self._commit_listeners[i] == listener:
+                del self._commit_listeners[i]
+                return
+
+    @property
+    def commit_listener_count(self) -> int:
+        """Number of currently registered commit listeners (observability for
+        detach paths: a drained service must shrink this)."""
+        return len(self._commit_listeners)
 
     # ------------------------------------------------------------------ #
     # Update API
@@ -404,9 +434,19 @@ class UpdateEngine:
             with self.metrics.timer("rebuild_tree"):
                 self._tree = DFSTree(new_parent, root=VIRTUAL_ROOT)
         backend.on_commit(self._tree)
-        for listener in self._commit_listeners:
-            listener(self._tree)
-        backend.end_update(update)
+        try:
+            # Iterate a copy: a listener may detach itself (or another) via
+            # remove_commit_listener mid-commit (e.g. DFSTreeService.close).
+            for listener in tuple(self._commit_listeners):
+                try:
+                    listener(self._tree)
+                except Exception:
+                    # Listener isolation: an observer that raises must never
+                    # poison the writer — the remaining listeners still run
+                    # and end_update below still closes the backend's update.
+                    self.metrics.inc("commit_listener_errors")
+        finally:
+            backend.end_update(update)
 
     def _make_reroot_engine(self, service: QueryService):
         if self._reroot_kind == "parallel":

@@ -153,6 +153,15 @@ class FaultTolerantDFS:
         keep increasing monotonically across queries."""
         self._commit_listeners.append(listener)
 
+    def remove_commit_listener(self, listener) -> None:
+        """Deregister a commit listener (the service-detach hook): future
+        :meth:`query` engines no longer re-register it.  Unknown listeners
+        are ignored, keeping detach idempotent."""
+        for i in range(len(self._commit_listeners) - 1, -1, -1):
+            if self._commit_listeners[i] == listener:
+                del self._commit_listeners[i]
+                return
+
     # ------------------------------------------------------------------ #
     def query(self, updates: Sequence[Update]) -> DFSTree:
         """Return a DFS tree of ``graph + updates`` using only the preprocessed

@@ -895,6 +895,12 @@ class DistributedDynamicDFS:
         :meth:`UpdateEngine.add_commit_listener`)."""
         self._engine.add_commit_listener(listener)
 
+    def remove_commit_listener(self, listener) -> None:
+        """Deregister a commit listener (the service-detach hook; unknown
+        listeners are ignored — see
+        :meth:`UpdateEngine.remove_commit_listener`)."""
+        self._engine.remove_commit_listener(listener)
+
     def is_valid(self) -> bool:
         """Validate the maintained forest."""
         return self._engine.is_valid()

@@ -32,6 +32,7 @@ WELL_KNOWN_COUNTERS: Dict[str, str] = {
     "service_rebuilds_forced": "rebuilds forced by a backend veto (re-used vertex id, due rebase) rather than the policy cadence",
     "overlay_served_updates": "updates served from the existing service state instead of a rebuild",
     "max_overlay_size": "largest overlay (masked + extra entries) observed between rebuilds",
+    "commit_listener_errors": "commit listeners that raised and were isolated by UpdateEngine (the writer is never poisoned; end_update still ran)",
     # Cost-model maintenance (MaintenanceController)
     "cost_model_triggers": "service refreshes demanded by a MaintenanceController forcing model (cost-model veto of overlay service)",
     "cost_model_excess": "excess per-update cost accumulated by MaintenanceController excess models (e.g. depth-drift rounds)",
@@ -68,6 +69,15 @@ WELL_KNOWN_COUNTERS: Dict[str, str] = {
     "queries_served": "reader queries answered from published snapshots (scalar and batched)",
     "max_query_batch_size": "largest coalesced batch one snapshot query pass answered",
     "snapshot_staleness_updates": "total staleness observed by snapshot reads, in committed-but-unpublished-to-this-reader updates (committed_version - snapshot.version summed over answered queries)",
+    # Shard router (repro.shard)
+    "shard_tenants_created": "tenant graphs placed onto shards by a ShardRouter",
+    "shard_update_batches_routed": "per-tenant update batches a ShardRouter forwarded to workers",
+    "shard_updates_routed": "individual updates a ShardRouter forwarded to workers",
+    "shard_query_batches_routed": "snapshot query batches a ShardRouter forwarded to workers",
+    "shard_moves": "completed shard moves (drain on the old worker, replay on the new, byte-identical parent maps asserted)",
+    "shard_tenants_moved": "tenants carried across workers by shard moves",
+    "shard_replayed_updates": "logged updates replayed while restoring moved tenants",
+    "max_worker_tenants": "most tenants resident on one worker at placement time",
     # Reduction (Theorem 11)
     "reductions": "reduce_update() calls",
     "reduction_tasks": "independent rerooting tasks produced by reductions",

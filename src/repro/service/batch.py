@@ -110,11 +110,19 @@ class BatchingQueryFront:
         return len(self._pending)
 
     def flush(self) -> None:
-        """Flush the pending queries now (normally driven by the tick)."""
+        """Flush the pending queries now (normally driven by the tick).
+
+        Futures cancelled while parked (a reader timed out or its task was
+        torn down) are dropped here, *before* accounting: only the queries
+        actually answered count towards ``queries_served`` and the staleness
+        totals, so batched accounting equals what the same live queries would
+        have recorded scalar-by-scalar.  A flush whose queries were all
+        cancelled records nothing."""
         if self._flush_handle is not None:
             self._flush_handle.cancel()
             self._flush_handle = None
         pending, self._pending = self._pending, []
+        pending = [item for item in pending if not item[2].cancelled()]
         if not pending:
             return
         service = self.service

@@ -68,6 +68,7 @@ class DFSTreeService:
         self.metrics = metrics or MetricsRecorder("service")
         self.publish_every = publish_every
         self._committed = 0
+        self._closed = False
         initial = self._driver_tree()
         self._snapshot = TreeSnapshot(0, initial, on_build_ms=self._record_build_ms)
         driver.add_commit_listener(self._on_commit)
@@ -115,9 +116,41 @@ class DFSTreeService:
     def publish_now(self) -> TreeSnapshot:
         """Force-publish the driver's current tree at ``committed_version``
         (useful between ``publish_every`` cadence points); returns the new
-        snapshot."""
+        snapshot.
+
+        A no-op when the published snapshot is already at
+        ``committed_version``: the current snapshot object is returned as-is,
+        so lazily built indices (LCA sparse table, component intervals) warm
+        readers already paid for are preserved instead of being discarded by a
+        spurious republish, and ``snapshots_published`` is not inflated.
+        """
+        snap = self._snapshot
+        if snap.version == self._committed:
+            return snap
         self._publish(self._committed, self._driver_tree())
         return self._snapshot
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` detached this service from its driver."""
+        return self._closed
+
+    def close(self) -> None:
+        """Detach from the driver: deregister the commit listener so future
+        commits are no longer observed (``committed_version`` and the
+        published snapshot freeze at their current values).
+
+        Idempotent — the shard router calls it on every drain, and a service
+        discarded without ``close()`` would otherwise keep snapshotting every
+        future commit forever (a listener leak on the writer's commit path).
+        Reads keep working against the last published snapshot.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        remove = getattr(self.driver, "remove_commit_listener", None)
+        if remove is not None:
+            remove(self._on_commit)
 
     # ------------------------------------------------------------------ #
     # Accounting

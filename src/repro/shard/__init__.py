@@ -1,0 +1,19 @@
+"""Sharded multi-tenant engine: many tenant graphs, one worker fleet.
+
+See :mod:`repro.shard.router` for the architecture overview.
+"""
+
+from repro.shard.placement import HashRing, shard_of_tenant, stable_hash
+from repro.shard.router import ShardRouter, rollup_counters
+from repro.shard.worker import QUERY_KINDS, ShardWorker, TenantExport
+
+__all__ = [
+    "HashRing",
+    "QUERY_KINDS",
+    "ShardRouter",
+    "ShardWorker",
+    "TenantExport",
+    "rollup_counters",
+    "shard_of_tenant",
+    "stable_hash",
+]

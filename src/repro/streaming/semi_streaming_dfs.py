@@ -365,6 +365,12 @@ class SemiStreamingDynamicDFS:
         :meth:`UpdateEngine.add_commit_listener`)."""
         self._engine.add_commit_listener(listener)
 
+    def remove_commit_listener(self, listener) -> None:
+        """Deregister a commit listener (the service-detach hook; unknown
+        listeners are ignored — see
+        :meth:`UpdateEngine.remove_commit_listener`)."""
+        self._engine.remove_commit_listener(listener)
+
     def local_space(self) -> int:
         """Vertices of state kept between passes: ``O(n)`` for the classic
         policy, plus the ``O(m)`` snapshot in the amortized hybrid."""

@@ -9,6 +9,7 @@ from repro.workloads.updates import (
     vertex_churn,
 )
 from repro.workloads.scenarios import SCENARIOS, Scenario, build_scenario
+from repro.workloads.multi_tenant import TenantWorkload, multi_tenant_churn, round_items
 
 __all__ = [
     "UpdateSequenceGenerator",
@@ -20,4 +21,7 @@ __all__ = [
     "Scenario",
     "SCENARIOS",
     "build_scenario",
+    "TenantWorkload",
+    "multi_tenant_churn",
+    "round_items",
 ]

@@ -1,0 +1,89 @@
+"""Multi-tenant churn workload for the shard router (benchmark E13).
+
+A fleet workload is a list of :class:`TenantWorkload`\\ s — one independent
+graph plus a pre-chunked sequence of update *rounds* per tenant.  The driver
+(benchmark or test) walks the rounds in lockstep: round ``i`` of every tenant
+is routed as one :meth:`~repro.shard.ShardRouter.apply_many` call, which is
+the fleet's aggregate-throughput path (one command per worker per round).
+
+Everything is derived from ``seed`` through the repo's deterministic
+generators, so the same call reproduces the same fleet byte-for-byte — in the
+router's parent process, in every worker, and in the single-process baseline
+the benchmark compares against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.core.updates import Update
+from repro.graph.generators import gnp_random_graph
+from repro.graph.graph import UndirectedGraph
+from repro.workloads.updates import edge_churn
+
+__all__ = ["TenantWorkload", "multi_tenant_churn", "round_items"]
+
+
+@dataclass(frozen=True)
+class TenantWorkload:
+    """One tenant's share of a fleet workload: its graph and update rounds."""
+
+    tenant_id: str
+    graph: UndirectedGraph
+    rounds: List[List[Update]]
+
+    @property
+    def total_updates(self) -> int:
+        """Total updates across all rounds of this tenant."""
+        return sum(len(r) for r in self.rounds)
+
+
+def multi_tenant_churn(
+    num_tenants: int,
+    *,
+    n: int = 64,
+    rounds: int = 5,
+    updates_per_round: int = 4,
+    seed: int = 0,
+    avg_degree: float = 5.0,
+) -> List[TenantWorkload]:
+    """Build a fleet of *num_tenants* independent edge-churn tenants.
+
+    Each tenant gets its own connected G(n, p) graph (p tuned for average
+    degree *avg_degree*) and a valid edge-churn sequence chunked into *rounds*
+    batches of *updates_per_round*; graph and churn seeds vary per tenant, so
+    the fleet is heterogeneous but fully reproducible from *seed*.  Benchmark
+    E13 uses a denser fleet (``avg_degree=16``), where a per-update rebuild of
+    ``D`` costs visibly more than overlay service.
+    """
+    if num_tenants < 1:
+        raise ValueError(f"num_tenants must be >= 1, got {num_tenants!r}")
+    if rounds < 1 or updates_per_round < 1:
+        raise ValueError("rounds and updates_per_round must be >= 1")
+    tenants: List[TenantWorkload] = []
+    for t in range(num_tenants):
+        graph = gnp_random_graph(
+            n, min(avg_degree / max(n - 1, 1), 0.5), seed=seed + 1000 * t, connected=True
+        )
+        stream = edge_churn(graph, rounds * updates_per_round, seed=seed + 1000 * t + 1)
+        chunked = [
+            stream[i : i + updates_per_round]
+            for i in range(0, len(stream), updates_per_round)
+        ]
+        tenants.append(
+            TenantWorkload(tenant_id=f"tenant-{t}", graph=graph, rounds=chunked)
+        )
+    return tenants
+
+
+def round_items(
+    tenants: Sequence[TenantWorkload], round_index: int
+) -> List[Tuple[str, List[Update]]]:
+    """The ``apply_many`` items for round *round_index* of the fleet (tenants
+    whose workload is shorter than the round are skipped)."""
+    return [
+        (t.tenant_id, t.rounds[round_index])
+        for t in tenants
+        if round_index < len(t.rounds)
+    ]

@@ -162,3 +162,79 @@ def test_batch_metrics_consistent_across_adapters():
         assert metrics["update_batches"] == 1
         assert metrics["max_update_batch_size"] == len(updates)
         assert metrics["updates"] == len(updates)
+
+
+# --------------------------------------------------------------------------- #
+# Commit-listener isolation and detach (PR 8 writer-path fixes)
+# --------------------------------------------------------------------------- #
+def test_raising_commit_listener_does_not_poison_writer():
+    """Regression: a listener that raises used to abort the commit tail —
+    ``end_update`` never ran (breaking overlay-budget accounting) and every
+    listener registered after it starved.  Now each listener is isolated:
+    the error is counted under ``commit_listener_errors``, later listeners
+    (here a healthy DFSTreeService) still run, and the maintained tree stays
+    byte-identical to an undisturbed reference."""
+    from repro.service import DFSTreeService
+
+    g = gnp_random_graph(36, 0.12, seed=9, connected=True)
+    updates = edge_churn(g, 16, seed=3)
+    metrics = MetricsRecorder("poisoned", strict=True)
+    driver = FullyDynamicDFS(g, rebuild_every=4, metrics=metrics)
+
+    def bad_listener(tree):
+        raise RuntimeError("boom")
+
+    driver.add_commit_listener(bad_listener)
+    svc = DFSTreeService(driver, metrics=metrics)  # registered after the bomb
+
+    reference = FullyDynamicDFS(g, rebuild_every=4)
+    for update in updates:
+        driver.apply(update)
+        reference.apply(update)
+        # The healthy service keeps observing every commit...
+        assert svc.committed_version == reference.metrics["updates"]
+        # ...and the writer's tree is unharmed.
+        assert driver.parent_map() == reference.parent_map()
+    assert metrics["commit_listener_errors"] == len(updates)
+    # end_update kept running: the amortized budget accounting still rebuilt
+    # on the same cadence as the undisturbed reference.
+    assert metrics["service_rebuilds"] == reference.metrics["service_rebuilds"]
+
+
+def test_remove_commit_listener_detaches_and_is_idempotent():
+    g = gnp_random_graph(24, 0.15, seed=2, connected=True)
+    driver = FullyDynamicDFS(g)
+    engine = driver._engine
+    base = engine.commit_listener_count
+    seen = []
+    listener = seen.append
+    driver.add_commit_listener(listener)
+    assert engine.commit_listener_count == base + 1
+    driver.apply(next(iter(edge_churn(g, 1, seed=1))))
+    assert len(seen) == 1
+    driver.remove_commit_listener(listener)
+    assert engine.commit_listener_count == base
+    driver.apply(next(iter(edge_churn(g, 1, seed=7))))
+    assert len(seen) == 1  # detached: no further commits observed
+    # Unknown listeners are ignored (idempotent detach).
+    driver.remove_commit_listener(listener)
+    assert engine.commit_listener_count == base
+
+
+def test_listener_may_detach_itself_mid_commit():
+    """A listener that removes itself while the commit fan-out is running
+    (exactly what ``DFSTreeService.close`` does from inside a drain) must not
+    skip the listeners after it."""
+    g = path_graph(8)
+    driver = FullyDynamicDFS(g)
+    order = []
+
+    def self_removing(tree):
+        order.append("first")
+        driver.remove_commit_listener(self_removing)
+
+    driver.add_commit_listener(self_removing)
+    driver.add_commit_listener(lambda tree: order.append("second"))
+    driver.apply(EdgeInsertion(0, 5))
+    driver.apply(EdgeDeletion(0, 5))
+    assert order == ["first", "second", "second"]

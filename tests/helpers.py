@@ -4,7 +4,14 @@ from __future__ import annotations
 
 from typing import List, Tuple
 
-from repro.core.updates import Update
+from repro.core.overlay import apply_update
+from repro.core.updates import (
+    EdgeDeletion,
+    EdgeInsertion,
+    Update,
+    VertexDeletion,
+    VertexInsertion,
+)
 from repro.graph.generators import (
     broom_graph,
     caterpillar_graph,
@@ -49,3 +56,44 @@ def make_updates(graph: UndirectedGraph, count: int, seed: int, *, vertex_update
         else {"edge_del": 1.0, "edge_ins": 1.0}
     )
     return gen.sequence(count, weights=weights)
+
+
+def decode_ops(graph: UndirectedGraph, ops) -> List[Update]:
+    """Decode shrinking-friendly integer triples into a valid update sequence.
+
+    Each op is ``(kind, a, b)`` interpreted against an evolving scratch copy of
+    *graph*, so the produced sequence is always replayable verbatim: an edge op
+    toggles the edge between the ``a``-th and ``b``-th live vertex, a vertex
+    deletion removes the ``a``-th live vertex, and a vertex insertion attaches
+    a fresh vertex to the neighbour subset encoded by ``b``'s bits.  Undecodable
+    ops (self loops, too-small graphs) are skipped rather than failing, so
+    hypothesis can shrink the integers freely.  Shared by the cross-driver
+    differential harness and the shard cross-process determinism tests.
+    """
+    scratch = graph.copy()
+    next_vertex = 10**9
+    updates: List[Update] = []
+    for kind, a, b in ops:
+        verts = sorted(scratch.vertices())
+        kind %= 4
+        if kind in (0, 3):  # edge toggle (twice the weight: churn dominates)
+            if len(verts) < 2:
+                continue
+            u = verts[a % len(verts)]
+            v = verts[b % len(verts)]
+            if u == v:
+                v = verts[(b + 1) % len(verts)]
+                if u == v:
+                    continue
+            update = EdgeDeletion(u, v) if scratch.has_edge(u, v) else EdgeInsertion(u, v)
+        elif kind == 1:  # vertex deletion
+            if len(verts) <= 3:
+                continue
+            update = VertexDeletion(verts[a % len(verts)])
+        else:  # vertex insertion with a bitmask-chosen neighbourhood
+            neighbors = tuple(verts[i] for i in range(min(len(verts), 6)) if (b >> i) & 1)
+            update = VertexInsertion(next_vertex, neighbors)
+            next_vertex += 1
+        apply_update(scratch, update)
+        updates.append(update)
+    return updates

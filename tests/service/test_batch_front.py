@@ -146,3 +146,110 @@ def test_max_batch_validation():
     driver, svc, front, metrics, _ = _setup()
     with pytest.raises(ValueError):
         BatchingQueryFront(svc, max_batch=0)
+
+
+# --------------------------------------------------------------------------- #
+# Cancelled futures must not skew accounting (PR 8 writer-path fixes)
+# --------------------------------------------------------------------------- #
+def _stale_setup(n=40, seed=3, updates=14):
+    """A service whose published snapshot lags the writer (publish_every=3),
+    so staleness accounting is non-zero and observable."""
+    scenario = build_scenario("sustained_churn", n=n, seed=seed, updates=updates)
+    metrics = MetricsRecorder("front", strict=True)
+    driver = FullyDynamicDFS(scenario.graph.copy(), rebuild_every=4)
+    svc = DFSTreeService(driver, metrics=metrics, publish_every=3)
+    for update in scenario.updates[:updates]:
+        driver.apply(update)
+    assert svc.committed_version > svc.version  # genuinely stale
+    # A long tick: flushes in these tests happen only when called explicitly.
+    front = BatchingQueryFront(svc, tick=60.0)
+    return driver, svc, front, metrics
+
+
+def _run_with_cancellation(front, pairs, cancel_mask):
+    """Enqueue one lca per pair, cancel the masked subset while parked, flush,
+    and return the gathered outcomes."""
+
+    async def run():
+        loop = asyncio.get_running_loop()
+        tasks = [loop.create_task(front.lca(a, b)) for a, b in pairs]
+        await asyncio.sleep(0)  # let every coroutine park its future
+        for task, cancel in zip(tasks, cancel_mask):
+            if cancel:
+                task.cancel()
+        front.flush()
+        return await asyncio.gather(*tasks, return_exceptions=True)
+
+    return asyncio.run(run())
+
+
+def test_flush_drops_cancelled_futures_from_accounting():
+    """Regression: a flush used to count *every* parked query — cancelled
+    ones included — into ``queries_served`` and the staleness totals, so
+    batched accounting drifted from what the same live queries record
+    scalar-by-scalar."""
+    driver, svc, front, metrics = _stale_setup()
+    verts = sorted(v for v in driver.graph.vertices())
+    pairs = [(verts[i], verts[-1 - i]) for i in range(8)]
+    cancel_mask = [i % 2 == 0 for i in range(8)]  # cancel half
+    live = [p for p, c in zip(pairs, cancel_mask) if not c]
+
+    # Scalar reference: the same live queries, one by one, on the same service.
+    before = metrics.as_dict()
+    scalar_answers = [svc.lca(a, b)[0] for a, b in live]
+    scalar_delta = metrics.snapshot_delta(before)
+
+    before = metrics.as_dict()
+    results = _run_with_cancellation(front, pairs, cancel_mask)
+    batched_delta = metrics.snapshot_delta(before)
+
+    for key in ("queries_served", "snapshot_staleness_updates"):
+        assert batched_delta.get(key, 0) == scalar_delta.get(key, 0), key
+    assert batched_delta.get("queries_served") == len(live)
+    answered = [r for r in results if isinstance(r, QueryResult)]
+    assert [r.answer for r in answered] == scalar_answers
+
+
+def test_flush_of_only_cancelled_queries_records_nothing():
+    driver, svc, front, metrics = _stale_setup()
+    verts = sorted(v for v in driver.graph.vertices())
+    pairs = [(verts[0], verts[1]), (verts[2], verts[3])]
+    before = metrics.as_dict()
+    results = _run_with_cancellation(front, pairs, [True, True])
+    delta = metrics.snapshot_delta(before)
+    assert all(v == 0 for v in delta.values()), delta  # not even query_batches
+    assert all(isinstance(r, asyncio.CancelledError) for r in results)
+    assert front.pending == 0
+
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    mask=st.lists(st.booleans(), min_size=1, max_size=10),
+    seed=st.integers(min_value=0, max_value=50),
+)
+def test_batched_accounting_equals_scalar_under_cancellation(mask, seed):
+    """Property: for any cancellation pattern, the flush's counter deltas for
+    ``queries_served`` and ``snapshot_staleness_updates`` equal what the same
+    *surviving* queries record scalar-by-scalar."""
+    driver, svc, front, metrics = _stale_setup(seed=seed % 7)
+    rng = random.Random(seed)
+    verts = sorted(v for v in driver.graph.vertices())
+    pairs = [(rng.choice(verts), rng.choice(verts)) for _ in mask]
+    live = [p for p, c in zip(pairs, mask) if not c]
+
+    before = metrics.as_dict()
+    scalar_answers = [svc.lca(a, b)[0] for a, b in live]
+    scalar_delta = metrics.snapshot_delta(before)
+
+    before = metrics.as_dict()
+    results = _run_with_cancellation(front, pairs, mask)
+    batched_delta = metrics.snapshot_delta(before)
+
+    for key in ("queries_served", "snapshot_staleness_updates"):
+        assert batched_delta.get(key, 0) == scalar_delta.get(key, 0), key
+    answered = [r for r in results if isinstance(r, QueryResult)]
+    assert [r.answer for r in answered] == scalar_answers

@@ -150,3 +150,63 @@ def test_publish_every_validation():
 def _two_vertices(graph):
     it = iter(graph.vertices())
     return next(it), next(it)
+
+
+# --------------------------------------------------------------------------- #
+# publish_now no-op and close() (PR 8 writer-path fixes)
+# --------------------------------------------------------------------------- #
+def test_publish_now_is_noop_at_committed_version():
+    """Regression: ``publish_now`` used to republish unconditionally, throwing
+    away the snapshot's lazily built indices and inflating
+    ``snapshots_published``.  At the committed version it must return the
+    *same object* (warm LCA/component indices preserved)."""
+    graph, updates = _scenario(seed=5, updates=10)
+    metrics = MetricsRecorder("svc", strict=True)
+    driver = FullyDynamicDFS(graph.copy(), rebuild_every=2)
+    svc = DFSTreeService(driver, metrics=metrics, publish_every=4)
+    for update in updates[:6]:
+        driver.apply(update)
+    snap = svc.publish_now()  # committed=6, published cadence point was 4
+    assert snap.version == 6
+    it = iter(driver.graph.vertices())
+    a, b = next(it), next(it)
+    snap.lca(a, b)  # warm the lazy index
+    published = metrics["snapshots_published"]
+    again = svc.publish_now()
+    assert again is snap  # the exact object, warm indices and all
+    assert metrics["snapshots_published"] == published
+    # After the next commit it is no longer a no-op.
+    driver.apply(updates[6])
+    fresh = svc.publish_now()
+    assert fresh is not snap and fresh.version == 7
+    assert metrics["snapshots_published"] == published + 1
+
+
+def test_close_detaches_service_from_driver():
+    """Regression: a discarded service kept snapshotting every future commit
+    forever (listener leak on the writer's commit path).  ``close()`` must
+    deregister the listener, freeze the service, shrink the engine's listener
+    list, and stay idempotent; reads keep answering from the last snapshot."""
+    graph, updates = _scenario(seed=7, updates=12)
+    driver = FullyDynamicDFS(graph.copy(), rebuild_every=3)
+    engine = driver._engine
+    base_listeners = engine.commit_listener_count
+    svc = DFSTreeService(driver)
+    assert engine.commit_listener_count == base_listeners + 1
+    for update in updates[:5]:
+        driver.apply(update)
+    frozen_map = svc.snapshot().parent_map()
+    assert not svc.closed
+    svc.close()
+    assert svc.closed
+    assert engine.commit_listener_count == base_listeners
+    for update in updates[5:]:
+        driver.apply(update)
+    # Frozen: the writer moved on, the closed service did not.
+    assert svc.version == svc.committed_version == 5
+    assert svc.snapshot().parent_map() == frozen_map
+    svc.close()  # idempotent
+    assert engine.commit_listener_count == base_listeners
+    it = iter(frozen_map)
+    v = next(it)
+    assert svc.subtree_size(v)[1] == 5  # reads still answer, at the frozen version

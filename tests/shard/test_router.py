@@ -1,0 +1,205 @@
+"""ShardRouter behaviors (inline mode): routing, rebalance, fleet rollup.
+
+Inline mode runs the identical :class:`~repro.shard.ShardWorker` code in
+process, so these tests pin the router's semantics without fork overhead;
+``test_cross_process.py`` pins process-mode equivalence on top.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dynamic_dfs import FullyDynamicDFS
+from repro.core.updates import EdgeDeletion
+from repro.exceptions import UpdateError
+from repro.metrics.counters import MetricsRecorder
+from repro.service import DFSTreeService
+from repro.shard import ShardRouter, rollup_counters
+from repro.workloads.multi_tenant import multi_tenant_churn, round_items
+
+
+def _fleet(num_tenants=6, **router_kw):
+    router_kw.setdefault("num_workers", 2)
+    router_kw.setdefault("num_shards", 8)
+    router_kw.setdefault("mode", "inline")
+    tenants = multi_tenant_churn(num_tenants, n=24, rounds=3, updates_per_round=3, seed=5)
+    router = ShardRouter(**router_kw)
+    for t in tenants:
+        router.create_tenant(t.tenant_id, t.graph)
+    return router, tenants
+
+
+def _references(tenants):
+    """An undisturbed single-process driver + service per tenant."""
+    refs = {}
+    for t in tenants:
+        driver = FullyDynamicDFS(t.graph.copy())
+        refs[t.tenant_id] = (driver, DFSTreeService(driver))
+    return refs
+
+
+def test_routed_tenants_match_single_process_reference():
+    """Every tenant behind the router maintains the exact tree (and answers
+    the exact snapshot queries) an undisturbed single-process stack does."""
+    router, tenants = _fleet()
+    refs = _references(tenants)
+    with router:
+        for rnd in range(3):
+            items = round_items(tenants, rnd)
+            if rnd == 1:  # one round through the scalar path
+                for tenant_id, updates in items:
+                    router.apply(tenant_id, updates)
+            else:
+                router.apply_many(items)
+            for tenant_id, updates in items:
+                driver, svc = refs[tenant_id]
+                driver.apply_all(updates)
+                assert router.parent_map(tenant_id) == driver.parent_map()
+                assert router.committed_version(tenant_id) == svc.committed_version
+        for t in tenants:
+            driver, svc = refs[t.tenant_id]
+            verts = sorted(driver.graph.vertices())[:6]
+            avs, bvs = verts[:3], verts[3:6]
+            for kind in ("lca", "connected", "is_ancestor", "path_length"):
+                answers, version = router.query(t.tenant_id, kind, avs, bvs)
+                ref_answers, ref_version = getattr(svc, f"{kind}_batch")(avs, bvs)
+                assert (answers, version) == (ref_answers, ref_version), kind
+            answers, version = router.query(t.tenant_id, "subtree_size", avs)
+            assert (answers, version) == svc.subtree_size_batch(avs)
+
+
+def test_placement_is_consistent():
+    router, tenants = _fleet()
+    with router:
+        for t in tenants:
+            shard = router.shard_of(t.tenant_id)
+            assert 0 <= shard < router.num_shards
+            assert router.worker_of_tenant(t.tenant_id) == router.worker_of_shard(shard)
+        assert set(router.tenants()) == {t.tenant_id for t in tenants}
+        assert router.workers() == [0, 1]
+
+
+def test_duplicate_unknown_and_invalid_errors():
+    router, tenants = _fleet(num_tenants=2)
+    with router:
+        with pytest.raises(ValueError):
+            router.create_tenant(tenants[0].tenant_id, tenants[0].graph)
+        with pytest.raises(KeyError):
+            router.apply("nope", [])
+        with pytest.raises(KeyError):
+            router.parent_map("nope")
+        with pytest.raises(ValueError):
+            router.query(tenants[0].tenant_id, "mst", [0], [1])
+        # A malformed update is forwarded as the library's own error and the
+        # tenant keeps working afterwards.
+        with pytest.raises(UpdateError):
+            router.apply(tenants[0].tenant_id, [EdgeDeletion("ghost-a", "ghost-b")])
+        router.apply(tenants[0].tenant_id, tenants[0].rounds[0])
+        assert router.committed_version(tenants[0].tenant_id) == 3
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        ShardRouter(num_workers=0, mode="inline")
+    with pytest.raises(ValueError):
+        ShardRouter(num_workers=4, num_shards=2, mode="inline")
+    with pytest.raises(ValueError):
+        ShardRouter(num_workers=1, num_shards=4, mode="threads")
+
+
+def test_move_shard_preserves_every_parent_map_and_counts():
+    router, tenants = _fleet()
+    with router:
+        for rnd in range(2):
+            router.apply_many(round_items(tenants, rnd))
+        before = {t.tenant_id: router.parent_map(t.tenant_id) for t in tenants}
+        # Move every populated shard to the *other* worker.
+        populated = sorted({router.shard_of(t.tenant_id) for t in tenants})
+        moved_tenants = 0
+        for shard in populated:
+            target = 1 - router.worker_of_shard(shard)
+            assert router.move_shard(shard, router.worker_of_shard(shard)) == 0  # self-move no-op
+            moved_tenants += router.move_shard(shard, target)
+            assert router.worker_of_shard(shard) == target
+        assert moved_tenants == len(tenants)
+        after = {t.tenant_id: router.parent_map(t.tenant_id) for t in tenants}
+        assert after == before  # byte-identical across the drain/replay
+        fleet = router.fleet_metrics()
+        assert fleet["shard_moves"] == len(populated)
+        assert fleet["shard_tenants_moved"] == len(tenants)
+        assert fleet["shard_replayed_updates"] == 6 * len(tenants)  # 2 rounds x 3
+        # The moved tenants keep taking writes on their new workers.
+        router.apply_many(round_items(tenants, 2))
+        for t in tenants:
+            assert router.committed_version(t.tenant_id) == 9
+        with pytest.raises(ValueError):
+            router.move_shard(router.num_shards, 0)
+        with pytest.raises(KeyError):
+            router.move_shard(0, 99)
+
+
+def test_drain_worker_rehomes_all_of_its_shards():
+    router, tenants = _fleet(num_tenants=8, num_workers=3, num_shards=9)
+    with router:
+        router.apply_many(round_items(tenants, 0))
+        before = {t.tenant_id: router.parent_map(t.tenant_id) for t in tenants}
+        victim = router.worker_of_tenant(tenants[0].tenant_id)
+        router.drain_worker(victim)
+        assert all(owner != victim for owner in (router.worker_of_shard(s) for s in range(9)))
+        assert {t.tenant_id: router.parent_map(t.tenant_id) for t in tenants} == before
+        with pytest.raises(ValueError):
+            router.drain_worker(victim)  # already drained
+        with pytest.raises(KeyError):
+            router.drain_worker(99)
+        # Draining down to one worker is allowed; draining the last is not.
+        survivors = [w for w in router.workers() if w != victim]
+        router.drain_worker(survivors[0])
+        with pytest.raises(ValueError):
+            router.drain_worker(survivors[1])
+        assert {t.tenant_id: router.parent_map(t.tenant_id) for t in tenants} == before
+
+
+def test_rollup_counters_semantics():
+    assert rollup_counters([]) == {}
+    merged = rollup_counters(
+        [
+            {"updates": 3, "max_query_batch_size": 5},
+            {"updates": 4, "max_query_batch_size": 2, "queries_served": 7},
+        ]
+    )
+    assert merged == {"updates": 7, "max_query_batch_size": 5, "queries_served": 7}
+    with pytest.raises(KeyError):
+        rollup_counters([{"not_a_registered_counter": 1}])
+    with pytest.raises(KeyError):
+        rollup_counters([{"max_not_a_registered_counter": 1}])
+
+
+def test_fleet_metrics_roll_up_router_and_all_shards():
+    metrics = MetricsRecorder("router", strict=True)
+    router, tenants = _fleet(metrics=metrics)
+    with router:
+        router.apply_many(round_items(tenants, 0))
+        router.apply(tenants[0].tenant_id, tenants[0].rounds[1])
+        router.query(tenants[0].tenant_id, "connected", [0], [1])
+        fleet = router.fleet_metrics()
+        # Router-side routing counters...
+        assert fleet["shard_tenants_created"] == len(tenants)
+        assert fleet["shard_update_batches_routed"] == len(tenants) + 1
+        assert fleet["shard_updates_routed"] == 3 * len(tenants) + 3
+        assert fleet["shard_query_batches_routed"] == 1
+        assert fleet["max_worker_tenants"] >= 1
+        # ...summed with the per-shard engine/service counters.
+        assert fleet["updates"] == 3 * len(tenants) + 3
+        assert fleet["snapshots_published"] == 3 * len(tenants) + 3
+        assert fleet["queries_served"] == 1
+        # Per-shard view: every populated shard reports, updates sum to fleet.
+        per_shard = router.shard_metrics()
+        assert set(per_shard) == {router.shard_of(t.tenant_id) for t in tenants}
+        assert sum(c["updates"] for c in per_shard.values()) == fleet["updates"]
+
+
+def test_close_is_idempotent():
+    router, tenants = _fleet(num_tenants=1)
+    router.apply(tenants[0].tenant_id, tenants[0].rounds[0])
+    router.close()
+    router.close()

@@ -33,8 +33,6 @@ from repro.baselines.static_recompute import StaticRecomputeDFS
 from repro.constants import is_virtual_root
 from repro.core.dynamic_dfs import FullyDynamicDFS
 from repro.core.fault_tolerant import FaultTolerantDFS
-from repro.core.overlay import apply_update
-from repro.core.updates import EdgeDeletion, EdgeInsertion, VertexDeletion, VertexInsertion
 from repro.distributed.distributed_dfs import DistributedDynamicDFS
 from repro.graph.generators import gnm_random_graph
 from repro.graph.validation import check_dfs_tree
@@ -42,6 +40,7 @@ from repro.metrics.counters import MetricsRecorder
 from repro.streaming.semi_streaming_dfs import SemiStreamingDynamicDFS
 from repro.workloads.scenarios import build_scenario
 from repro.workloads.updates import mixed_updates
+from tests.helpers import decode_ops as _decode_ops
 
 AMORTIZED_K = 10
 
@@ -212,46 +211,6 @@ DIFFERENTIAL_COMBOS = [
         ),
     ),
 ]
-
-
-def _decode_ops(graph, ops):
-    """Decode shrinking-friendly integer triples into a valid update sequence.
-
-    Each op is ``(kind, a, b)`` interpreted against an evolving scratch copy of
-    *graph*, so the produced sequence is always replayable verbatim: an edge op
-    toggles the edge between the ``a``-th and ``b``-th live vertex, a vertex
-    deletion removes the ``a``-th live vertex, and a vertex insertion attaches
-    a fresh vertex to the neighbour subset encoded by ``b``'s bits.  Undecodable
-    ops (self loops, too-small graphs) are skipped rather than failing, so
-    hypothesis can shrink the integers freely.
-    """
-    scratch = graph.copy()
-    next_vertex = 10**9
-    updates = []
-    for kind, a, b in ops:
-        verts = sorted(scratch.vertices())
-        kind %= 4
-        if kind in (0, 3):  # edge toggle (twice the weight: churn dominates)
-            if len(verts) < 2:
-                continue
-            u = verts[a % len(verts)]
-            v = verts[b % len(verts)]
-            if u == v:
-                v = verts[(b + 1) % len(verts)]
-                if u == v:
-                    continue
-            update = EdgeDeletion(u, v) if scratch.has_edge(u, v) else EdgeInsertion(u, v)
-        elif kind == 1:  # vertex deletion
-            if len(verts) <= 3:
-                continue
-            update = VertexDeletion(verts[a % len(verts)])
-        else:  # vertex insertion with a bitmask-chosen neighbourhood
-            neighbors = tuple(verts[i] for i in range(min(len(verts), 6)) if (b >> i) & 1)
-            update = VertexInsertion(next_vertex, neighbors)
-            next_vertex += 1
-        apply_update(scratch, update)
-        updates.append(update)
-    return updates
 
 
 @st.composite

@@ -20,11 +20,13 @@ from repro.distributed.distributed_dfs import CongestBackend, DistributedDynamic
 from repro.distributed.network import CongestNetwork
 from repro.metrics.counters import MetricsRecorder
 from repro.service import BatchingQueryFront, DFSTreeService, TreeSnapshot
+from repro.shard import HashRing, ShardRouter, ShardWorker
 from repro.streaming.semi_streaming_dfs import SemiStreamingDynamicDFS
 
 #: The exported API surface the docstring contract covers: the four public
 #: drivers, the shared engine/backend protocol, the maintenance controller,
-#: the metrics recorder, the CONGEST simulator and the MVCC query service.
+#: the metrics recorder, the CONGEST simulator, the MVCC query service and
+#: the sharded multi-tenant router.
 PUBLIC_CLASSES = [
     FullyDynamicDFS,
     FaultTolerantDFS,
@@ -41,6 +43,9 @@ PUBLIC_CLASSES = [
     DFSTreeService,
     TreeSnapshot,
     BatchingQueryFront,
+    ShardRouter,
+    ShardWorker,
+    HashRing,
 ]
 
 
