@@ -164,7 +164,10 @@ class DStructureBackend(Backend):
             # the pinned side lists.  Counted separately from routine
             # d_rebuilds so benchmarks can assert the trigger bound.
             self.metrics.inc("d_rebases")
-            self.metrics.inc(f"d_rebase_trigger_{trigger}")
+            if trigger == "segments":
+                self.metrics.inc("d_rebase_trigger_segments")
+            else:
+                self.metrics.inc("d_rebase_trigger_pinned")
         with self.metrics.timer("build_d"):
             self.structure = self._structure_cls(self.graph, tree, metrics=self.metrics)
         self.controller.on_refresh()

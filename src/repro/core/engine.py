@@ -403,38 +403,42 @@ class UpdateEngine:
         backend = self.backend
         self._updates_applied += 1
         backend.begin_update(update)
-        serve_overlay = self._policy_allows_overlay(update)
-        rebuilt = False
-        if not serve_overlay and backend.rebuild_stage == "pre":
-            self._do_rebuild(update)
-            rebuilt = True
-        backend.mutate(update)
-        if backend.rebuild_stage == "post" and (
-            not serve_overlay or backend.cache_invalid(update)
-        ):
-            self._do_rebuild(update)
-            rebuilt = True
-        if not rebuilt:
-            self._updates_since_rebuild += 1
-            self.metrics.inc("overlay_served_updates")
-        backend.on_mutated(update)
-
-        service = backend.make_query_service(self._tree)
-        reduction = reduce_update(update, self._tree, service, metrics=self.metrics)
-
-        new_parent = self._tree.parent_map()
-        for v in reduction.removed_vertices:
-            new_parent.pop(v, None)
-        new_parent.update(reduction.parent_overrides)
-        if reduction.tasks:
-            engine = self._make_reroot_engine(service)
-            new_parent.update(engine.reroot_many(reduction.tasks))
-
-        if not reduction.tree_unchanged or reduction.parent_overrides or reduction.removed_vertices:
-            with self.metrics.timer("rebuild_tree"):
-                self._tree = DFSTree(new_parent, root=VIRTUAL_ROOT)
-        backend.on_commit(self._tree)
         try:
+            # Everything between begin_update and end_update runs under the
+            # writer protocol: whatever raises, the finally below closes the
+            # backend's update so the pipeline can never be left mid-update
+            # (statically enforced by repro-lint's writer-pairing rule).
+            serve_overlay = self._policy_allows_overlay(update)
+            rebuilt = False
+            if not serve_overlay and backend.rebuild_stage == "pre":
+                self._do_rebuild(update)
+                rebuilt = True
+            backend.mutate(update)
+            if backend.rebuild_stage == "post" and (
+                not serve_overlay or backend.cache_invalid(update)
+            ):
+                self._do_rebuild(update)
+                rebuilt = True
+            if not rebuilt:
+                self._updates_since_rebuild += 1
+                self.metrics.inc("overlay_served_updates")
+            backend.on_mutated(update)
+
+            service = backend.make_query_service(self._tree)
+            reduction = reduce_update(update, self._tree, service, metrics=self.metrics)
+
+            new_parent = self._tree.parent_map()
+            for v in reduction.removed_vertices:
+                new_parent.pop(v, None)
+            new_parent.update(reduction.parent_overrides)
+            if reduction.tasks:
+                engine = self._make_reroot_engine(service)
+                new_parent.update(engine.reroot_many(reduction.tasks))
+
+            if not reduction.tree_unchanged or reduction.parent_overrides or reduction.removed_vertices:
+                with self.metrics.timer("rebuild_tree"):
+                    self._tree = DFSTree(new_parent, root=VIRTUAL_ROOT)
+            backend.on_commit(self._tree)
             # Iterate a copy: a listener may detach itself (or another) via
             # remove_commit_listener mid-commit (e.g. DFSTreeService.close).
             for listener in tuple(self._commit_listeners):
@@ -443,7 +447,7 @@ class UpdateEngine:
                 except Exception:
                     # Listener isolation: an observer that raises must never
                     # poison the writer — the remaining listeners still run
-                    # and end_update below still closes the backend's update.
+                    # and the finally below still closes the backend's update.
                     self.metrics.inc("commit_listener_errors")
         finally:
             backend.end_update(update)

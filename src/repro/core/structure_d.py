@@ -551,7 +551,7 @@ class StructureD:
     def _segment_depth(self, w: Vertex) -> int:
         try:
             return self._tree.level(w)
-        except Exception:  # vertex inserted after the base tree was built
+        except VertexNotFound:  # vertex inserted after the base tree was built
             return 1 << 30
 
     def min_post_alive_neighbor(

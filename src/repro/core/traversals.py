@@ -763,7 +763,12 @@ class TraversalPlanner:
         if not applicable:
             return None, lowest
 
-        self.metrics.inc(f"{scenario}_committed")
+        if scenario == "heavy_p":
+            self.metrics.inc("heavy_p_committed")
+        elif scenario == "heavy_r":
+            self.metrics.inc("heavy_r_committed")
+        else:
+            self.metrics.inc("heavy_special_committed")
         result = yield from self._commit_heavy(
             comp, tau, v_l, x_star, y_star, pc,
             scenario=scenario, walk_down=walk_down, r_prime=r_prime, root_path=root_path,

@@ -69,6 +69,8 @@ WELL_KNOWN_COUNTERS: Dict[str, str] = {
     "queries_served": "reader queries answered from published snapshots (scalar and batched)",
     "max_query_batch_size": "largest coalesced batch one snapshot query pass answered",
     "snapshot_staleness_updates": "total staleness observed by snapshot reads, in committed-but-unpublished-to-this-reader updates (committed_version - snapshot.version summed over answered queries)",
+    "query_batch_fallbacks": "coalesced batches the query front degraded to scalar-by-scalar retries (one query's error must not poison the batch)",
+    "query_errors": "reader queries that raised and failed only their own future (the error is the caller's answer, never swallowed)",
     # Shard router (repro.shard)
     "shard_tenants_created": "tenant graphs placed onto shards by a ShardRouter",
     "shard_update_batches_routed": "per-tenant update batches a ShardRouter forwarded to workers",
@@ -267,7 +269,7 @@ class MetricsRecorder:
         if before is None:
             return self.as_dict()
         now = self.as_dict()
-        return {k: now.get(k, 0) - before.get(k, 0) for k in set(now) | set(before)}
+        return {k: now.get(k, 0) - before.get(k, 0) for k in sorted(set(now) | set(before))}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         items = ", ".join(f"{k}={v}" for k, v in sorted(self.as_dict().items()))

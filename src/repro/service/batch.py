@@ -157,6 +157,7 @@ class BatchingQueryFront:
     def _answer_kind(self, snap: TreeSnapshot, kind: str, items: list) -> None:
         batch_name, scalar_name = _KINDS[kind]
         version = snap.version
+        metrics = self.service.metrics
         try:
             if kind == "subtree_size":
                 answers = getattr(snap, batch_name)([args[0] for _, args, _ in items])
@@ -166,7 +167,9 @@ class BatchingQueryFront:
                 answers = getattr(snap, batch_name)(avs, bvs)
         except Exception:
             # One bad query must not poison the batch: retry scalar-by-scalar
-            # so only the offending futures fail.
+            # so only the offending futures fail (counted so a hot path that
+            # keeps degrading to scalar reads is visible on dashboards).
+            metrics.inc("query_batch_fallbacks")
             scalar = getattr(snap, scalar_name)
             for _, args, fut in items:
                 if fut.cancelled():
@@ -174,6 +177,9 @@ class BatchingQueryFront:
                 try:
                     fut.set_result(QueryResult(scalar(*args), version))
                 except Exception as exc:
+                    # The error is the caller's answer, not a swallow: it
+                    # travels to exactly one awaiting reader.
+                    metrics.inc("query_errors")
                     fut.set_exception(exc)
             return
         for (_, _, fut), answer in zip(items, answers):

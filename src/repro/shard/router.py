@@ -86,7 +86,7 @@ class _InlineWorker:
     def send(self, command: str, args: tuple) -> None:
         try:
             self._outcomes.append((True, getattr(self._worker, command)(*args)))
-        except Exception as exc:
+        except Exception as exc:  # re-raised by recv(), mirroring the pipe protocol  # repro-lint: disable=except-swallow
             self._outcomes.append((False, exc))
 
     def recv(self):
@@ -308,7 +308,7 @@ class ShardRouter:
         for worker_id, worker_items in by_worker.items():
             try:
                 versions.update(self._handle(worker_id).recv())
-            except Exception as exc:  # keep draining so pipes stay in sync
+            except Exception as exc:  # re-raised after the drain so pipes stay in sync  # repro-lint: disable=except-swallow
                 errors.append(exc)
         if errors:
             raise errors[0]

@@ -296,9 +296,9 @@ def worker_main(conn, worker_id: Hashable, options: dict) -> None:
                 raise ValueError(f"unknown worker command {command!r}")
             result = getattr(worker, command)(*args)
             reply = ("ok", result)
-        except Exception as exc:  # forwarded, never fatal to the loop
+        except Exception as exc:  # forwarded to the router, never fatal to the loop  # repro-lint: disable=except-swallow
             reply = ("err", exc)
         try:
             conn.send(reply)
-        except Exception as exc:  # unpicklable result/exception: degrade
+        except Exception as exc:  # unpicklable result/exception: degrade  # repro-lint: disable=except-swallow
             conn.send(("err", RuntimeError(f"unpicklable worker reply: {exc!r}")))

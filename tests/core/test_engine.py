@@ -238,3 +238,62 @@ def test_listener_may_detach_itself_mid_commit():
     driver.apply(EdgeInsertion(0, 5))
     driver.apply(EdgeDeletion(0, 5))
     assert order == ["first", "second", "second"]
+
+
+def test_end_update_guaranteed_when_the_pipeline_raises():
+    """Regression: ``begin_update`` was only closed on the success path, so a
+    raise anywhere in the pipeline (policy, rebuild, mutate, commit) left the
+    backend mid-update forever.  The writer protocol now closes in a
+    ``finally`` (statically enforced by repro-lint's writer-pairing rule):
+    every begin has its end, the error still propagates, and the engine keeps
+    working once the fault clears."""
+    from repro.constants import VIRTUAL_ROOT
+    from repro.core.overlay import apply_update
+    from repro.core.queries import BruteForceQueryService
+    from repro.graph.traversal import static_dfs_forest
+    from repro.tree.dfs_tree import DFSTree
+
+    g = gnp_random_graph(20, 0.15, seed=5, connected=True)
+
+    class RecordingBackend(Backend):
+        name = "recording"
+
+        def __init__(self, graph):
+            self.graph = graph
+            self.log = []
+            self.explode = False
+
+        def rebuild(self, tree, update):
+            pass
+
+        def mutate(self, update):
+            if self.explode:
+                raise RuntimeError("mid-update failure")
+            apply_update(self.graph, update)
+
+        def make_query_service(self, tree):
+            return BruteForceQueryService(self.graph, tree)
+
+        def begin_update(self, update):
+            self.log.append("begin")
+
+        def end_update(self, update):
+            self.log.append("end")
+
+    graph = g.copy()
+    tree = DFSTree(static_dfs_forest(graph), root=VIRTUAL_ROOT)
+    backend = RecordingBackend(graph)
+    engine = UpdateEngine(backend, tree)
+    updates = mixed_updates(g, 2, seed=1)
+
+    engine.apply(updates[0])
+    backend.explode = True
+    with pytest.raises(RuntimeError):
+        engine.apply(updates[1])
+    # mutate raised before touching the graph, so the same update replays
+    # cleanly once the fault clears.
+    backend.explode = False
+    engine.apply(updates[1])
+
+    assert backend.log == ["begin", "end"] * 3
+    assert engine.is_valid()

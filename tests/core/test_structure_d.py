@@ -260,3 +260,25 @@ def test_absorb_then_more_overlays_then_absorb_again():
         combined = sorted(d._sorted_nbrs.get(v, []) + list(d._cross_edges.get(v, [])),
                           key=d._post.__getitem__)
         assert combined == fresh._sorted_nbrs.get(v, []), v
+
+
+def test_segment_depth_narrows_to_vertex_not_found():
+    """Regression: ``_segment_depth`` used to catch *Exception*, so a broken
+    ``tree.level`` (a typo, a corrupted tree) was silently mapped to the
+    late-insert sentinel and the neighbour search kept going on garbage.
+    Only the documented miss is narrowed; anything else propagates."""
+    g, tree, d = build()
+    v = next(iter(g.vertices()))
+    assert d._segment_depth(v) == tree.level(v)
+    # A vertex inserted after the base build: the documented sentinel.
+    assert d._segment_depth("never-inserted") == 1 << 30
+    with pytest.raises(VertexNotFound):
+        tree.level("never-inserted")
+
+    class BrokenTree:
+        def level(self, w):
+            raise RuntimeError("corrupt tree")
+
+    d._tree = BrokenTree()
+    with pytest.raises(RuntimeError):
+        d._segment_depth(v)

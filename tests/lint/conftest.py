@@ -1,0 +1,39 @@
+"""Fixture-corpus loader for the repro-lint tests.
+
+Each fixture in ``fixtures/`` is a self-describing snippet:
+
+* line 1 carries ``# lint-path: <repo-relative path>`` — the path the
+  snippet pretends to live at (rules are path-scoped);
+* every line that should produce a finding carries an inline
+  ``# expect: <rule-id>`` marker.
+
+``load_fixture`` returns the pretend path, the raw source, and the sorted
+``(line, rule)`` pairs the markers promise, so tests can assert the linter's
+findings match the corpus exactly — ids *and* line numbers.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).parent / "fixtures"
+
+_PATH_RE = re.compile(r"#\s*lint-path:\s*(\S+)")
+_EXPECT_RE = re.compile(r"#\s*expect:\s*([a-z][a-z0-9-]*)")
+
+
+def load_fixture(name: str) -> Tuple[str, str, List[Tuple[int, str]]]:
+    """(pretend_rel, source, expected ``(line, rule)`` pairs) for a fixture."""
+    source = (FIXTURES / f"{name}.py").read_text(encoding="utf-8")
+    lines = source.splitlines()
+    m = _PATH_RE.search(lines[0]) if lines else None
+    assert m, f"{name}: missing '# lint-path:' directive on line 1"
+    expected = []
+    for lineno, line in enumerate(lines, 1):
+        em = _EXPECT_RE.search(line)
+        if em:
+            expected.append((lineno, em.group(1)))
+    return m.group(1), source, sorted(expected)

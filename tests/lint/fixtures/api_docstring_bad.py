@@ -1,0 +1,12 @@
+# lint-path: src/repro/shard/placement.py
+"""Bad: the exported class surface lost its docstrings."""
+
+
+class HashRing:  # expect: api-docstring
+
+    def shard_of(self, v):  # expect: api-docstring
+        return hash(v) % 2
+
+    def rebalance(self, shards):
+        """Recompute ring ownership for a new shard count."""
+        return shards

@@ -1,0 +1,10 @@
+# lint-path: src/repro/core/dynamic_dfs.py
+"""Bad: the driver docstring stopped naming its tuning knob."""
+
+
+class FullyDynamicDFS:  # expect: api-knob
+    """Fully dynamic DFS driver (docstring forgot to mention the knob)."""
+
+    def apply(self, update):
+        """Apply one edge/vertex update and refresh the DFS tree."""
+        return update

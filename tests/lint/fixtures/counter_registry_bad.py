@@ -1,0 +1,17 @@
+# lint-path: src/repro/core/fixture_example.py
+"""Bad: unregistered literal keys through every recorder method."""
+
+
+class Engine:
+    """Fixture engine."""
+
+    def __init__(self, metrics):
+        self.metrics = metrics
+
+    def work(self):
+        """Record under keys missing from WELL_KNOWN_COUNTERS."""
+        self.metrics.inc("fixture_unregistered_counter")  # expect: counter-registry
+        self.metrics.observe_max("fixture_unregistered_gauge", 9)  # expect: counter-registry
+        self.metrics.set("fixture_unregistered_value", 1)  # expect: counter-registry
+        with self.metrics.timer("fixture_unregistered_phase"):  # expect: counter-registry
+            pass

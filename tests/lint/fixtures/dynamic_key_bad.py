@@ -1,0 +1,9 @@
+# lint-path: src/repro/core/fixture_example.py
+"""Bad: counter keys built at runtime cannot be checked statically."""
+
+
+def work(metrics, trigger):
+    """Bump a counter whose name depends on a runtime value."""
+    metrics.inc(f"d_rebase_trigger_{trigger}")  # expect: dynamic-counter-key
+    key = "updates"
+    metrics.inc(key)  # expect: dynamic-counter-key

@@ -1,0 +1,26 @@
+# lint-path: src/repro/core/fixture_example.py
+"""Bad: broad handlers that silently eat the failure."""
+
+
+def depth_or_sentinel(tree, v):
+    """Swallows typos, attribute errors, everything — not just misses."""
+    try:
+        return tree.level(v)
+    except Exception:  # expect: except-swallow
+        return 1 << 30
+
+
+def notify(listener, event):
+    """Listener failures vanish without a trace."""
+    try:
+        listener(event)
+    except (Exception, KeyboardInterrupt):  # expect: except-swallow
+        pass
+
+
+def forward(conn, payload):
+    """Bare except is the broadest swallow of all."""
+    try:
+        conn.send(payload)
+    except:  # expect: except-swallow
+        conn.close()

@@ -1,0 +1,29 @@
+# lint-path: src/repro/core/fixture_example.py
+"""Good: broad handlers either re-raise, narrow, or bump an error counter."""
+
+from repro.exceptions import VertexNotFound
+
+
+def depth_or_sentinel(tree, v):
+    """Narrow except: only the documented miss is mapped to a sentinel."""
+    try:
+        return tree.level(v)
+    except VertexNotFound:
+        return 1 << 30
+
+
+def notify(metrics, listener, event):
+    """Broad except, but the failure is counted — never silent."""
+    try:
+        listener(event)
+    except Exception:
+        metrics.inc("commit_listener_errors")
+
+
+def forward(conn, payload):
+    """Broad except that re-raises after cleanup is fine."""
+    try:
+        conn.send(payload)
+    except Exception:
+        conn.close()
+        raise

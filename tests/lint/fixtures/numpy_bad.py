@@ -1,0 +1,10 @@
+# lint-path: src/repro/tree/fixture_example.py
+"""Bad: module-level numpy import outside the allowlisted array modules."""
+
+import numpy as np  # expect: numpy-isolation
+from numpy import asarray  # expect: numpy-isolation
+
+
+def as_arrays(values):
+    """Materialise *values* as an int64 array."""
+    return asarray(values, dtype=np.int64)

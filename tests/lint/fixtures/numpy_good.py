@@ -1,0 +1,9 @@
+# lint-path: src/repro/tree/fixture_example.py
+"""Good: numpy only lazily, inside the function that needs it."""
+
+
+def as_arrays(values):
+    """Materialise *values* as an int64 array (array backends only)."""
+    import numpy as np
+
+    return np.asarray(values, dtype=np.int64)

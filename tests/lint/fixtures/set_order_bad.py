@@ -1,0 +1,12 @@
+# lint-path: src/repro/core/fixture_example.py
+"""Bad: hash-order of sets reaches returned values and mutations."""
+
+
+def neighbors_union(a, b):
+    """Union whose order depends on the hash seed."""
+    out = []
+    for v in set(a) | set(b):  # expect: set-iteration-order
+        out.append(v)
+    first_pair = [v for v in {a[0], b[0]}]  # expect: set-iteration-order
+    listed = list({x for x in a})  # expect: set-iteration-order
+    return out, first_pair, listed

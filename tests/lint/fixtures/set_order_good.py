@@ -1,0 +1,15 @@
+# lint-path: src/repro/core/fixture_example.py
+"""Good: set-shaped collections are sorted before their order can leak."""
+
+
+def neighbors_union(a, b):
+    """Deterministically ordered union of two neighbor sets."""
+    out = []
+    for v in sorted(set(a) | set(b)):
+        out.append(v)
+    return out
+
+
+def union_size(a, b):
+    """Order-free consumption of a set is fine."""
+    return len(set(a) | set(b))

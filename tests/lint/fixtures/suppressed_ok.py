@@ -1,0 +1,9 @@
+# lint-path: src/repro/core/fixture_example.py
+"""A violation silenced by an inline directive: no findings, one directive."""
+
+import random
+
+
+def jitter():
+    """Documented escape hatch around the determinism rule."""
+    return random.random()  # repro-lint: disable=unseeded-random

@@ -1,0 +1,14 @@
+# lint-path: src/repro/workloads/fixture_example.py
+"""Bad: the module-global RNG makes runs irreproducible."""
+
+import random
+from random import shuffle  # expect: unseeded-random
+
+
+def shuffled(items):
+    """Nondeterministically shuffled copy of *items*."""
+    out = list(items)
+    random.shuffle(out)  # expect: unseeded-random
+    if random.random() < 0.5:  # expect: unseeded-random
+        out.reverse()
+    return out

@@ -1,0 +1,12 @@
+# lint-path: src/repro/workloads/fixture_example.py
+"""Good: randomness flows through an explicitly seeded random.Random."""
+
+import random
+
+
+def shuffled(items, seed):
+    """Deterministically shuffled copy of *items*."""
+    rng = random.Random(seed)
+    out = list(items)
+    rng.shuffle(out)
+    return out

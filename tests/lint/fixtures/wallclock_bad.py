@@ -1,0 +1,13 @@
+# lint-path: src/repro/core/fixture_example.py
+"""Bad: raw wall-clock reads outside the metrics layer."""
+
+import time
+from time import perf_counter  # expect: wallclock-time
+
+
+def timed_build(build):
+    """Measure *build* by hand instead of through MetricsRecorder."""
+    start = time.perf_counter()  # expect: wallclock-time
+    result = build()
+    elapsed = time.time() - start  # expect: wallclock-time
+    return result, elapsed, perf_counter()

@@ -1,0 +1,8 @@
+# lint-path: src/repro/core/fixture_example.py
+"""Good: wall-clock measurement goes through the metrics recorder."""
+
+
+def timed_build(metrics, build):
+    """Run *build* under the registered build_d timer."""
+    with metrics.timer("build_d"):
+        return build()

@@ -1,0 +1,22 @@
+# lint-path: src/repro/core/fixture_example.py
+"""Bad: begin_update without a structurally guaranteed end_update."""
+
+
+def apply_unguarded(backend, update):
+    """A raise in mutate() leaves the writer slot held forever."""
+    backend.begin_update(update)  # expect: writer-pairing
+    backend.mutate(update)
+    result = backend.commit(update)
+    backend.end_update(update)
+    return result
+
+
+def apply_try_without_finally(backend, update):
+    """except alone is not enough — a KeyboardInterrupt still leaks."""
+    backend.begin_update(update)  # expect: writer-pairing
+    try:
+        backend.mutate(update)
+    except ValueError:
+        backend.end_update(update)
+        raise
+    backend.end_update(update)

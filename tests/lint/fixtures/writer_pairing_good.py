@@ -1,0 +1,12 @@
+# lint-path: src/repro/core/fixture_example.py
+"""Good: begin_update is immediately guarded by try/finally end_update."""
+
+
+def apply(backend, update):
+    """Run one update under the writer protocol."""
+    backend.begin_update(update)
+    try:
+        backend.mutate(update)
+        return backend.commit(update)
+    finally:
+        backend.end_update(update)

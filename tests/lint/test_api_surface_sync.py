@@ -1,0 +1,60 @@
+"""The static API surface must mirror the runtime docstring test.
+
+``tools/lint/rules/public_api.py`` re-states the surface of
+``tests/test_docstrings.py`` so it can run without importing ``repro`` (a
+clean checkout, no installs).  Restating means it can drift; these tests pin
+the two copies together by parsing the runtime test's AST — class list and
+knob list both — so renaming or exporting a class breaks loudly until both
+sides are updated.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.lint.rules.public_api import KNOB_DOCS, PUBLIC_API
+
+from tests.lint.conftest import REPO_ROOT
+
+_RUNTIME_TEST = REPO_ROOT / "tests" / "test_docstrings.py"
+
+
+def _runtime_tree() -> ast.Module:
+    return ast.parse(_RUNTIME_TEST.read_text(encoding="utf-8"))
+
+
+def test_class_surface_matches_runtime_test():
+    runtime_names = None
+    for node in _runtime_tree().body:
+        if isinstance(node, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == "PUBLIC_CLASSES"
+                for t in node.targets):
+            runtime_names = [elt.id for elt in node.value.elts]
+    assert runtime_names, "PUBLIC_CLASSES not found in tests/test_docstrings.py"
+    static_names = [name for names in PUBLIC_API.values() for name in names]
+    assert len(set(static_names)) == len(static_names)
+    assert sorted(static_names) == sorted(runtime_names)
+
+
+def test_knob_surface_matches_runtime_test():
+    """Every knob string the runtime test asserts on, and no others."""
+    fn = next(node for node in _runtime_tree().body
+              if isinstance(node, ast.FunctionDef)
+              and node.name == "test_driver_docstrings_name_their_knobs")
+    body = fn.body[1:] if ast.get_docstring(fn) else fn.body
+    runtime_knobs = {
+        c.value for stmt in body for c in ast.walk(stmt)
+        if isinstance(c, ast.Constant) and isinstance(c.value, str)}
+    static_knobs = {k for knobs in KNOB_DOCS.values() for k in knobs}
+    assert static_knobs == runtime_knobs
+
+
+def test_public_api_paths_exist():
+    for rel in PUBLIC_API:
+        assert (REPO_ROOT / rel).is_file(), rel
+
+
+def test_knob_classes_are_on_the_surface():
+    surface = {name for names in PUBLIC_API.values() for name in names}
+    for cls in KNOB_DOCS:
+        assert cls in surface, cls

@@ -253,3 +253,31 @@ def test_batched_accounting_equals_scalar_under_cancellation(mask, seed):
         assert batched_delta.get(key, 0) == scalar_delta.get(key, 0), key
     answered = [r for r in results if isinstance(r, QueryResult)]
     assert [r.answer for r in answered] == scalar_answers
+
+
+def test_degraded_batch_bumps_fallback_and_error_counters():
+    """Regression companion to ``test_bad_query_fails_only_its_own_future``:
+    the degraded path is now observable.  One poisoned batch = one
+    ``query_batch_fallbacks`` bump; each future that still fails after the
+    scalar retry = one ``query_errors`` bump.  Healthy flushes touch
+    neither."""
+    driver, svc, front, metrics, updates = _setup()
+    driver.apply(updates[0])
+    verts = list(driver.graph.vertices())
+
+    async def run(pairs):
+        futs = [front.lca(a, b) for a, b in pairs]
+        return await asyncio.gather(*futs, return_exceptions=True)
+
+    healthy = asyncio.run(run([(verts[0], verts[1]), (verts[1], verts[2])]))
+    assert all(isinstance(r, QueryResult) for r in healthy)
+    assert metrics["query_batch_fallbacks"] == 0
+    assert metrics["query_errors"] == 0
+
+    mixed = asyncio.run(run([(verts[0], verts[1]), (verts[0], "missing-a"),
+                             (verts[1], "missing-b")]))
+    assert isinstance(mixed[0], QueryResult)
+    assert isinstance(mixed[1], Exception)
+    assert isinstance(mixed[2], Exception)
+    assert metrics["query_batch_fallbacks"] == 1
+    assert metrics["query_errors"] == 2

@@ -1,0 +1,5 @@
+"""Repo tooling: benchmark trajectory diffing, docs generation, repro-lint.
+
+This package intentionally depends on the standard library only — CI's lint
+job runs it on a clean checkout with no installs (not even numpy).
+"""

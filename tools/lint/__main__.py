@@ -1,0 +1,6 @@
+"""``python -m tools.lint`` — run the repro-lint CLI."""
+
+from tools.lint.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

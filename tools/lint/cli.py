@@ -1,0 +1,109 @@
+"""repro-lint command line.
+
+Usage (from the repo root; stdlib only, no installs needed)::
+
+    python -m tools.lint                      # lint the default tree
+    python -m tools.lint src/ tests/          # lint a subset
+    python -m tools.lint --list-rules         # rule catalog one-liners
+    python -m tools.lint --dead-counters      # registry liveness report
+
+Exit status is non-zero on any finding, on an unparseable file, or when the
+number of inline ``repro-lint: disable=`` comment directives exceeds the pinned cap
+(``MAX_SUPPRESSIONS`` — grow it consciously, in the same commit that adds the
+suppression; ``tests/lint/test_zero_baseline.py`` pins the exact count).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from tools.lint.core import Linter, LintResult
+from tools.lint.rules import default_checkers
+from tools.lint.rules.counters import CounterRegistryChecker
+
+#: Paths linted when none are given (the zero-baseline command of CI).
+DEFAULT_PATHS = ("src", "tests", "benchmarks", "tools")
+
+#: Hard cap on inline suppression directives in the tree.  The shipped
+#: allowlist (see docs/lint.md) uses exactly this many; adding one more means
+#: raising the cap here *and* re-pinning tests/lint/test_zero_baseline.py.
+MAX_SUPPRESSIONS = 4
+
+
+def build_linter(root: Path) -> Linter:
+    """The shipped checker suite over the checkout rooted at *root*."""
+    return Linter(root, default_checkers(root))
+
+
+def _print_rules(linter: Linter) -> None:
+    print("repro-lint rule catalog (details: docs/lint.md)")
+    for checker in linter.checkers:
+        print(f"  {checker.name}: {', '.join(checker.rules)}")
+    print("  (framework): parse-error, unused-suppression")
+
+
+def _print_dead_counters(linter: Linter) -> None:
+    for checker in linter.checkers:
+        if isinstance(checker, CounterRegistryChecker):
+            dead = sorted(checker.dead_counters(), key=lambda e: e.name)
+            if not dead:
+                print(f"dead-counter report: every registered counter is recorded "
+                      f"somewhere ({len(checker.registry)} registered)")
+                return
+            print(f"dead-counter report: {len(dead)} of {len(checker.registry)} "
+                  "registered counters are never recorded:")
+            for entry in dead:
+                print(f"  {entry.name}  (registry line {entry.line}): {entry.description}")
+            return
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Run repro-lint; returns the process exit status."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="AST-based invariant checker suite for the dynamic-DFS "
+                    "reproduction (see docs/lint.md)")
+    parser.add_argument("paths", nargs="*", default=list(DEFAULT_PATHS),
+                        help="files/directories to lint, relative to --root "
+                             f"(default: {' '.join(DEFAULT_PATHS)})")
+    parser.add_argument("--root", default=".",
+                        help="repo root (registry + path scoping; default: cwd)")
+    parser.add_argument("--max-suppressions", type=int, default=MAX_SUPPRESSIONS,
+                        help="fail when the tree carries more inline disable "
+                             f"directives than this (default: {MAX_SUPPRESSIONS})")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    parser.add_argument("--dead-counters", action="store_true",
+                        help="print the registry liveness report after linting")
+    args = parser.parse_args(argv)
+
+    root = Path(args.root).resolve()
+    try:
+        linter = build_linter(root)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"repro-lint: cannot load the counter registry: {exc}", file=sys.stderr)
+        return 2
+    if args.list_rules:
+        _print_rules(linter)
+        return 0
+
+    result: LintResult = linter.lint_paths(args.paths)
+    for diag in result.findings:
+        print(diag.format())
+    if args.dead_counters:
+        _print_dead_counters(linter)
+
+    over_cap = result.directives > args.max_suppressions
+    status = 1 if (result.findings or over_cap) else 0
+    print(f"repro-lint: {len(result.findings)} finding(s), "
+          f"{len(result.suppressed)} suppressed via {result.directives} "
+          f"directive(s) (cap {args.max_suppressions}), "
+          f"{result.files} file(s) scanned")
+    if over_cap:
+        print("repro-lint: suppression cap exceeded — shrink the allowlist or "
+              "consciously raise MAX_SUPPRESSIONS (and re-pin "
+              "tests/lint/test_zero_baseline.py)", file=sys.stderr)
+    return status

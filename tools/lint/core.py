@@ -1,0 +1,249 @@
+"""repro-lint framework core: diagnostics, suppressions, checkers, the runner.
+
+The framework is deliberately small: a :class:`Checker` parses nothing itself
+— every scanned file is parsed once into a :class:`FileContext` (AST + source
+lines + per-line suppressions) and handed to every checker whose
+:meth:`Checker.applies_to` accepts the file's repo-relative path.  Checkers
+yield :class:`Diagnostic` objects; the :class:`Linter` applies the per-line
+``repro-lint: disable=RULE`` comment suppressions, counts them, and flags
+stale directives (a suppression that no longer suppresses anything is itself
+a finding, so the allowlist can only shrink or be consciously grown).
+
+Cross-file rules (the dead-counter report needs every call site before it can
+call a registry entry dead) implement :meth:`Checker.finalize`, which runs
+once after every file has been checked.
+
+Everything here is standard library only: CI runs repro-lint on a clean
+checkout with no installs, before any test dependency exists.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+#: Per-line suppression directive: a comment of the form
+#: ``repro-lint: disable=rule-a,rule-b`` suppresses those rules on that line
+#: only; ``disable=all`` suppresses every rule on the line.  Directives are
+#: counted and capped by the CLI.
+SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_, -]+)")
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: rule id, location, message and a how-to-fix hint."""
+
+    rule: str
+    path: str  # repo-relative posix path
+    line: int
+    col: int
+    message: str
+    hint: str = ""
+
+    def format(self) -> str:
+        """``path:line:col: rule-id message (hint: ...)`` — one line."""
+        text = f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+        if self.hint:
+            text += f" (hint: {self.hint})"
+        return text
+
+
+@dataclass
+class FileContext:
+    """One parsed file: repo-relative path, source, AST and suppressions."""
+
+    rel: str
+    source: str
+    tree: ast.Module
+    #: line number -> set of rule ids disabled on that line (may hold "all").
+    suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+
+    @property
+    def lines(self) -> List[str]:
+        """Source split into lines (1-indexed via ``lines[line - 1]``)."""
+        return self.source.splitlines()
+
+
+def parse_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Per-line ``repro-lint: disable=...`` comment directives in *source*."""
+    out: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = SUPPRESS_RE.search(line)
+        if m:
+            rules = {part.strip() for part in m.group(1).split(",") if part.strip()}
+            if rules:
+                out[lineno] = rules
+    return out
+
+
+class Checker:
+    """Base class for one invariant checker (may emit several rule ids)."""
+
+    #: short name shown by ``--list-rules``
+    name: str = "base"
+    #: every rule id this checker may emit
+    rules: Tuple[str, ...] = ()
+
+    def applies_to(self, rel: str) -> bool:
+        """Whether this checker wants to see the file at repo-relative *rel*."""
+        return True
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        """Per-file pass: yield findings for *ctx*."""
+        return ()
+
+    def finalize(self, contexts: Sequence[FileContext]) -> Iterable[Diagnostic]:
+        """Cross-file pass, run once after every file was checked."""
+        return ()
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run (findings already filtered by suppressions)."""
+
+    findings: List[Diagnostic]
+    suppressed: List[Diagnostic]
+    #: total ``disable=`` directives seen in the scanned tree (used or not)
+    directives: int
+    files: int
+
+    @property
+    def ok(self) -> bool:
+        """True when the run produced no findings."""
+        return not self.findings
+
+
+def _receiver_name(node: ast.expr) -> str:
+    """Trailing identifier of a call receiver (``self.metrics`` -> "metrics")."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def iter_python_files(root: Path, paths: Sequence[str]) -> List[Path]:
+    """Every ``.py`` file under *paths* (repo-relative to *root*), sorted.
+
+    Skips ``__pycache__``, hidden directories, and lint fixture corpora
+    (``tests/lint/fixtures`` holds deliberately-bad snippets).
+    """
+    files: Set[Path] = set()
+    for p in paths:
+        base = (root / p).resolve() if not Path(p).is_absolute() else Path(p)
+        if base.is_file() and base.suffix == ".py":
+            files.add(base)
+            continue
+        for f in base.rglob("*.py"):
+            rel_parts = f.relative_to(base).parts
+            if any(part == "__pycache__" or part.startswith(".") for part in rel_parts):
+                continue
+            files.add(f)
+    out = []
+    for f in sorted(files):
+        rel = _relativize(root, f)
+        if rel.startswith("tests/lint/fixtures/"):
+            continue
+        out.append(f)
+    return out
+
+
+def _relativize(root: Path, path: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+class Linter:
+    """Runs a checker suite over a file tree rooted at *root*."""
+
+    def __init__(self, root: Path, checkers: Sequence[Checker]) -> None:
+        self.root = Path(root)
+        self.checkers = list(checkers)
+
+    # ------------------------------------------------------------------ #
+    # Context loading
+    # ------------------------------------------------------------------ #
+    def load_context(self, source: str, rel: str) -> FileContext:
+        """Parse *source* (repo-relative *rel*) into a :class:`FileContext`.
+
+        Raises :class:`SyntaxError` on unparseable input — a file the linter
+        cannot parse is itself a finding at the CLI layer.
+        """
+        tree = ast.parse(source, filename=rel)
+        return FileContext(rel=rel, source=source, tree=tree,
+                           suppressions=parse_suppressions(source))
+
+    # ------------------------------------------------------------------ #
+    # Running
+    # ------------------------------------------------------------------ #
+    def check_context(self, ctx: FileContext) -> List[Diagnostic]:
+        """Raw per-file diagnostics for *ctx* (suppressions not yet applied)."""
+        out: List[Diagnostic] = []
+        for checker in self.checkers:
+            if checker.applies_to(ctx.rel):
+                out.extend(checker.check(ctx))
+        return out
+
+    def lint_sources(self, sources: Dict[str, str]) -> LintResult:
+        """Lint in-memory ``{rel_path: source}`` files (the test entry point)."""
+        contexts = [self.load_context(text, rel) for rel, text in sorted(sources.items())]
+        return self._run(contexts)
+
+    def lint_paths(self, paths: Sequence[str]) -> LintResult:
+        """Lint every python file under *paths* (relative to the root)."""
+        contexts: List[FileContext] = []
+        raw: List[Diagnostic] = []
+        for f in iter_python_files(self.root, paths):
+            rel = _relativize(self.root, f)
+            try:
+                contexts.append(self.load_context(f.read_text(encoding="utf-8"), rel))
+            except SyntaxError as exc:
+                raw.append(Diagnostic(
+                    rule="parse-error", path=rel, line=exc.lineno or 1,
+                    col=exc.offset or 0, message=f"cannot parse: {exc.msg}"))
+        return self._run(contexts, extra=raw)
+
+    def _run(self, contexts: Sequence[FileContext],
+             extra: Optional[List[Diagnostic]] = None) -> LintResult:
+        raw: List[Diagnostic] = list(extra or ())
+        for ctx in contexts:
+            raw.extend(self.check_context(ctx))
+        for checker in self.checkers:
+            raw.extend(checker.finalize(contexts))
+        return self._apply_suppressions(contexts, raw)
+
+    # ------------------------------------------------------------------ #
+    # Suppressions
+    # ------------------------------------------------------------------ #
+    def _apply_suppressions(self, contexts: Sequence[FileContext],
+                            raw: List[Diagnostic]) -> LintResult:
+        by_rel = {ctx.rel: ctx for ctx in contexts}
+        findings: List[Diagnostic] = []
+        suppressed: List[Diagnostic] = []
+        used: Set[Tuple[str, int]] = set()
+        for diag in raw:
+            ctx = by_rel.get(diag.path)
+            rules = ctx.suppressions.get(diag.line, set()) if ctx else set()
+            if diag.rule in rules or "all" in rules:
+                suppressed.append(diag)
+                used.add((diag.path, diag.line))
+            else:
+                findings.append(diag)
+        directives = 0
+        for ctx in contexts:
+            for line, rules in sorted(ctx.suppressions.items()):
+                directives += 1
+                if (ctx.rel, line) not in used:
+                    findings.append(Diagnostic(
+                        rule="unused-suppression", path=ctx.rel, line=line, col=0,
+                        message=f"suppression for {', '.join(sorted(rules))} no longer "
+                                "suppresses anything",
+                        hint="delete the stale repro-lint disable comment"))
+        findings.sort(key=lambda d: (d.path, d.line, d.col, d.rule))
+        return LintResult(findings=findings, suppressed=suppressed,
+                          directives=directives, files=len(contexts))

@@ -1,0 +1,58 @@
+"""Static loader for the ``WELL_KNOWN_COUNTERS`` registry.
+
+The counter-registry rule must run on a clean checkout (no installs, no
+importable ``repro``), so instead of importing
+:mod:`repro.metrics.counters` it parses the module's AST and extracts the
+``WELL_KNOWN_COUNTERS`` dict literal: every key with its line number (so
+dead-counter findings anchor to the exact registry entry) and description.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict
+
+#: Repo-relative path of the registry module (also the recorder implementation,
+#: which the counter-registry rule skips: its ``inc(f"time_{key}")`` plumbing
+#: is the mechanism the registry governs, not a call site).
+REGISTRY_REL = "src/repro/metrics/counters.py"
+
+REGISTRY_NAME = "WELL_KNOWN_COUNTERS"
+
+
+@dataclass(frozen=True)
+class RegistryEntry:
+    """One registered counter: its name, docstring and registry line."""
+
+    name: str
+    description: str
+    line: int
+
+
+def load_registry(root: Path) -> Dict[str, RegistryEntry]:
+    """Parse ``WELL_KNOWN_COUNTERS`` out of the checkout rooted at *root*.
+
+    Raises :class:`FileNotFoundError` when the registry module is missing and
+    :class:`ValueError` when the dict literal cannot be found — repro-lint
+    refuses to run without a registry rather than passing vacuously.
+    """
+    path = root / REGISTRY_REL
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        if not any(isinstance(t, ast.Name) and t.id == REGISTRY_NAME for t in targets):
+            continue
+        value = node.value
+        if not isinstance(value, ast.Dict):
+            break
+        entries: Dict[str, RegistryEntry] = {}
+        for key, val in zip(value.keys, value.values):
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                desc = val.value if isinstance(val, ast.Constant) and isinstance(val.value, str) else ""
+                entries[key.value] = RegistryEntry(key.value, desc, key.lineno)
+        return entries
+    raise ValueError(f"{REGISTRY_NAME} dict literal not found in {path}")

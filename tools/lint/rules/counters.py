@@ -1,0 +1,139 @@
+"""Counter-registry rules.
+
+``MetricsRecorder(strict=True)`` already rejects unregistered counters at
+runtime — but only on code paths a test actually drives.  These rules prove
+the same contract statically for every call site:
+
+* ``counter-registry`` — a string-literal key passed to
+  ``inc``/``observe_max``/``set``/``timer`` must be registered in
+  ``WELL_KNOWN_COUNTERS``.  ``observe_max`` keys match through the ``max_``
+  alias exactly as :meth:`MetricsRecorder._check_registered` allows; ``timer``
+  keys must be registered under their reported ``time_<key>`` name.
+* ``dynamic-counter-key`` — a non-literal key cannot be checked statically;
+  it is flagged so every such site is a conscious, suppressed decision (the
+  recorder's own ``merge``/``timer`` plumbing lives in the skipped registry
+  module).
+* ``dead-counter`` — cross-file: every registered counter must be *recorded*
+  somewhere in the scanned tree (tests count: a test-covered counter is a
+  live contract).  This is the report that keeps ``docs/counters.md`` and
+  the registry honest.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from tools.lint.core import Checker, Diagnostic, FileContext, _receiver_name
+from tools.lint.registry import REGISTRY_REL, RegistryEntry
+
+#: MetricsRecorder recording methods and how their key maps into the registry.
+METRIC_METHODS = ("inc", "observe_max", "set", "timer")
+
+#: Receivers accepted for the generic ``.set`` method (``.set`` appears in many
+#: unrelated APIs, so it only counts on a recorder-shaped receiver;
+#: ``inc``/``observe_max``/``timer`` are distinctive enough to match on any
+#: receiver).
+_SET_RECEIVERS = ("m", "rec", "recorder")
+
+
+def _is_metric_call(node: ast.AST) -> Optional[Tuple[str, ast.Call]]:
+    """``(method, call)`` when *node* is a MetricsRecorder recording call."""
+    if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Attribute):
+        return None
+    method = node.func.attr
+    if method not in METRIC_METHODS:
+        return None
+    if method == "set":
+        name = _receiver_name(node.func.value)
+        if "metric" not in name and name not in _SET_RECEIVERS:
+            return None
+    return method, node
+
+
+def _live_keys(method: str, key: str) -> Tuple[str, ...]:
+    """Registry names a recording call keeps alive."""
+    if method == "timer":
+        return (f"time_{key}",)
+    if method == "observe_max":
+        return (key, f"max_{key}")
+    return (key,)
+
+
+def _registered(method: str, key: str, registry: Dict[str, RegistryEntry]) -> bool:
+    return any(name in registry for name in _live_keys(method, key))
+
+
+class CounterRegistryChecker(Checker):
+    """Rules ``counter-registry``, ``dynamic-counter-key``, ``dead-counter``."""
+
+    name = "counter-registry"
+    rules = ("counter-registry", "dynamic-counter-key", "dead-counter")
+
+    #: Files exempt from the registry rules: the recorder implementation (its
+    #: ``inc(f"time_{key}")``/``merge`` plumbing is the mechanism the registry
+    #: governs) and the recorder's own unit tests (which exercise the strict
+    #: and permissive modes with deliberately-unregistered keys).
+    EXEMPT = (REGISTRY_REL, "tests/metrics/test_metrics.py")
+
+    def __init__(self, registry: Dict[str, RegistryEntry],
+                 registry_rel: str = REGISTRY_REL) -> None:
+        self.registry = registry
+        self.registry_rel = registry_rel
+        #: registry names observed recorded somewhere in the scanned tree
+        self.live: Set[str] = set()
+
+    def applies_to(self, rel: str) -> bool:
+        """Everywhere except the recorder implementation and its unit tests."""
+        return rel not in self.EXEMPT
+
+    # ------------------------------------------------------------------ #
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            match = _is_metric_call(node)
+            if match is None:
+                continue
+            method, call = match
+            if not call.args:
+                continue
+            key_node = call.args[0]
+            if isinstance(key_node, ast.Constant) and isinstance(key_node.value, str):
+                key = key_node.value
+                self.live.update(n for n in _live_keys(method, key) if n in self.registry)
+                if not _registered(method, key, self.registry):
+                    yield Diagnostic(
+                        rule="counter-registry", path=ctx.rel,
+                        line=key_node.lineno, col=key_node.col_offset,
+                        message=f"counter {key!r} (via .{method}) is not registered "
+                                "in WELL_KNOWN_COUNTERS",
+                        hint="register it in repro.metrics.counters (timers under "
+                             "time_<key>, maxima may use the max_<key> alias) and "
+                             "regenerate docs/counters.md")
+            else:
+                yield Diagnostic(
+                    rule="dynamic-counter-key", path=ctx.rel,
+                    line=key_node.lineno, col=key_node.col_offset,
+                    message=f"counter key passed to .{method} is not a string "
+                            "literal, so registry membership cannot be checked "
+                            "statically",
+                    hint="use a literal key, or suppress with a comment explaining "
+                         "why the key set is closed")
+
+    # ------------------------------------------------------------------ #
+    def dead_counters(self) -> List[RegistryEntry]:
+        """Registered counters no recording call site keeps alive."""
+        return [entry for name, entry in self.registry.items() if name not in self.live]
+
+    def finalize(self, contexts: Sequence[FileContext]) -> Iterable[Diagnostic]:
+        # Only meaningful when the registry file itself was part of the scan:
+        # linting a single fixture must not declare the whole registry dead.
+        if not any(ctx.rel == self.registry_rel for ctx in contexts):
+            return
+        for entry in self.dead_counters():
+            yield Diagnostic(
+                rule="dead-counter", path=self.registry_rel,
+                line=entry.line, col=0,
+                message=f"registered counter {entry.name!r} is never recorded "
+                        "anywhere in the scanned tree",
+                hint="delete the registry entry (and regenerate docs/counters.md) "
+                     "or cover the counter with a test")

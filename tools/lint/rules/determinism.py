@@ -1,0 +1,174 @@
+"""Determinism rules for the core package.
+
+The canonical-answers contract (byte-identical parent maps across every
+driver×policy×backend combination) only holds if nothing in ``src/repro/``
+consults a nondeterministic source.  Three rules:
+
+* ``unseeded-random`` — calls through the module-global RNG
+  (``random.random()``, ``random.shuffle(...)``, ...) and ``from random
+  import shuffle``-style imports are forbidden; the only sanctioned entry
+  point is ``random.Random(seed)`` with an explicit seed.
+* ``wallclock-time`` — ``time.time``/``perf_counter``/``monotonic`` (and
+  their ``_ns`` variants) may be read only inside the metrics layer and the
+  allowlisted timing hooks; headline measurements are model quantities, and a
+  wall-clock read anywhere else is either dead weight or a latent
+  nondeterminism.
+* ``set-iteration-order`` — iterating a set literal, set comprehension,
+  ``set(...)``/``frozenset(...)`` call, or a set-algebra expression over them
+  feeds hash-order into whatever the loop produces, and materialising one
+  through ``list(...)``/``tuple(...)`` freezes that order into an ordered
+  container.  ``sorted(...)`` over the same expression is the fix;
+  order-preserving wrappers (``iter``, ``reversed``, ``enumerate``) are
+  unwrapped before the check so they cannot launder a set.  Set
+  *comprehensions over* sets are exempt — their result is unordered anyway.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from tools.lint.core import Checker, Diagnostic, FileContext
+
+#: Wall-clock reading functions of the ``time`` module.
+WALLCLOCK_FUNCS = (
+    "time", "perf_counter", "monotonic", "process_time",
+    "time_ns", "perf_counter_ns", "monotonic_ns", "process_time_ns",
+)
+
+#: Files outside ``src/repro/metrics/`` allowed to read the wall clock — the
+#: documented timing hooks (``snapshot_build_ms`` is an informational timer
+#: fed by the MVCC snapshot service's lazy index builds).
+WALLCLOCK_ALLOWLIST = (
+    "src/repro/service/snapshot.py",
+)
+
+#: Wrappers that preserve their argument's iteration order (so they cannot
+#: make a set deterministic) — unwrapped before the set-likeness check.
+#: ``list``/``tuple`` are handled separately: materialising a set through
+#: them is flagged in its own right, wherever it happens.
+_ORDER_PRESERVING = ("iter", "reversed", "enumerate")
+
+#: Ordered containers whose construction freezes the set's hash order.
+_MATERIALIZERS = ("list", "tuple")
+
+_SET_ALGEBRA_OPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+
+
+def _is_setlike(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+            and node.func.id in ("set", "frozenset")):
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_ALGEBRA_OPS):
+        return _is_setlike(node.left) or _is_setlike(node.right)
+    return False
+
+
+def _unwrap_order_preserving(node: ast.expr) -> ast.expr:
+    while (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+           and node.func.id in _ORDER_PRESERVING and node.args):
+        node = node.args[0]
+    return node
+
+
+class DeterminismChecker(Checker):
+    """Rules ``unseeded-random``, ``wallclock-time``, ``set-iteration-order``."""
+
+    name = "determinism"
+    rules = ("unseeded-random", "wallclock-time", "set-iteration-order")
+
+    def applies_to(self, rel: str) -> bool:
+        """Core package only: tests, benchmarks and tooling may use both
+        (hypothesis drives its own RNG; benchmarks measure wall-clock)."""
+        return rel.startswith("src/repro/")
+
+    # ------------------------------------------------------------------ #
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        out: List[Diagnostic] = []
+        wallclock_ok = (ctx.rel.startswith("src/repro/metrics/")
+                        or ctx.rel in WALLCLOCK_ALLOWLIST)
+        for node in ast.walk(ctx.tree):
+            self._check_random(ctx, node, out)
+            if not wallclock_ok:
+                self._check_wallclock(ctx, node, out)
+            self._check_set_iteration(ctx, node, out)
+        return out
+
+    # ------------------------------------------------------------------ #
+    def _check_random(self, ctx: FileContext, node: ast.AST,
+                      out: List[Diagnostic]) -> None:
+        if (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "random"
+                and node.func.attr != "Random"):
+            out.append(Diagnostic(
+                rule="unseeded-random", path=ctx.rel,
+                line=node.lineno, col=node.col_offset,
+                message=f"random.{node.func.attr}() uses the unseeded "
+                        "module-global RNG",
+                hint="thread a random.Random(seed) instance through instead"))
+        elif (isinstance(node, ast.ImportFrom) and node.module == "random"
+              and node.level == 0
+              and any(a.name != "Random" for a in node.names)):
+            out.append(Diagnostic(
+                rule="unseeded-random", path=ctx.rel,
+                line=node.lineno, col=node.col_offset,
+                message="importing module-global RNG functions from random "
+                        "invites unseeded calls",
+                hint="import random and use random.Random(seed)"))
+
+    def _check_wallclock(self, ctx: FileContext, node: ast.AST,
+                         out: List[Diagnostic]) -> None:
+        if (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "time"
+                and node.func.attr in WALLCLOCK_FUNCS):
+            out.append(Diagnostic(
+                rule="wallclock-time", path=ctx.rel,
+                line=node.lineno, col=node.col_offset,
+                message=f"time.{node.func.attr}() outside the metrics layer "
+                        "and its allowlisted timing hooks",
+                hint="measure through MetricsRecorder.timer, or add the file to "
+                     "the documented WALLCLOCK_ALLOWLIST if it is a real hook"))
+        elif (isinstance(node, ast.ImportFrom) and node.module == "time"
+              and node.level == 0
+              and any(a.name in WALLCLOCK_FUNCS for a in node.names)):
+            out.append(Diagnostic(
+                rule="wallclock-time", path=ctx.rel,
+                line=node.lineno, col=node.col_offset,
+                message="importing wall-clock functions from time outside the "
+                        "metrics layer",
+                hint="import time lazily inside the metrics layer instead"))
+
+    def _check_set_iteration(self, ctx: FileContext, node: ast.AST,
+                             out: List[Diagnostic]) -> None:
+        iters: List[ast.expr] = []
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iters.append(node.iter)
+        elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+            # SetComp over a set stays unordered end to end — exempt.
+            iters.extend(gen.iter for gen in node.generators)
+        elif (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+              and node.func.id in _MATERIALIZERS and node.args
+              and _is_setlike(node.args[0])):
+            out.append(Diagnostic(
+                rule="set-iteration-order", path=ctx.rel,
+                line=node.lineno, col=node.col_offset,
+                message=f"{node.func.id}(...) freezes a set's hash order into "
+                        "an ordered container (nondeterminism in a core path)",
+                hint="use sorted(...) instead"))
+        for it in iters:
+            it = _unwrap_order_preserving(it)
+            if (isinstance(it, ast.Call) and isinstance(it.func, ast.Name)
+                    and it.func.id in _MATERIALIZERS):
+                continue  # the materialisation branch already flags the inner set
+            if _is_setlike(it):
+                out.append(Diagnostic(
+                    rule="set-iteration-order", path=ctx.rel,
+                    line=it.lineno, col=it.col_offset,
+                    message="iteration order of a set reaches the loop body "
+                            "(hash-order nondeterminism in a core path)",
+                    hint="wrap the iterable in sorted(...), or iterate a "
+                         "deterministic container"))

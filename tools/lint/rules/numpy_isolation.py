@@ -1,0 +1,72 @@
+"""Backend-isolation rule: the dict backend must stay numpy-free.
+
+``numpy-isolation`` — a module-level ``import numpy`` (or ``from numpy
+import ...``) is allowed only in the allowlisted array modules; everywhere
+else under ``src/`` the import must be *lazy* (inside a function body), so a
+numpy-free install can import every module of the dict backend.  CI's
+no-numpy job proves this dynamically by re-running the whole tier-1 suite;
+this rule proves it in milliseconds by looking at the import statements.
+
+Class bodies count as module level: a ``class``-scoped import executes at
+import time.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from tools.lint.core import Checker, Diagnostic, FileContext
+
+#: The only modules allowed to import numpy eagerly — the array backend's
+#: storage core plus the backend gate that probes for numpy's presence.
+ALLOWED_EAGER_NUMPY = (
+    "src/repro/backends.py",
+    "src/repro/graph/array_graph.py",
+    "src/repro/core/array_structure_d.py",
+)
+
+_FUNCTIONS = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+def _imports_numpy(node: ast.stmt) -> bool:
+    if isinstance(node, ast.Import):
+        return any(a.name == "numpy" or a.name.startswith("numpy.") for a in node.names)
+    if isinstance(node, ast.ImportFrom):
+        mod = node.module or ""
+        return node.level == 0 and (mod == "numpy" or mod.startswith("numpy."))
+    return False
+
+
+class NumpyIsolationChecker(Checker):
+    """Rule ``numpy-isolation``."""
+
+    name = "numpy-isolation"
+    rules = ("numpy-isolation",)
+
+    def applies_to(self, rel: str) -> bool:
+        """Only the installable package: tests/benchmarks may import freely
+        (they guard with ``importorskip``/skip markers instead)."""
+        return rel.startswith("src/")
+
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        if ctx.rel in ALLOWED_EAGER_NUMPY:
+            return ()
+        out: List[Diagnostic] = []
+
+        def visit(node: ast.AST, in_function: bool) -> None:
+            if isinstance(node, (ast.Import, ast.ImportFrom)) and _imports_numpy(node):
+                if not in_function:
+                    out.append(Diagnostic(
+                        rule="numpy-isolation", path=ctx.rel,
+                        line=node.lineno, col=node.col_offset,
+                        message="module-level numpy import outside the allowlisted "
+                                "array modules breaks the numpy-free dict backend",
+                        hint="move the import inside the function that needs it "
+                             "(lazy import), or route through repro.backends"))
+                return
+            for child in ast.iter_child_nodes(node):
+                visit(child, in_function or isinstance(node, _FUNCTIONS))
+
+        visit(ctx.tree, in_function=False)
+        return out

@@ -1,0 +1,125 @@
+"""Writer-protocol rules.
+
+* ``writer-pairing`` — a call to ``*.begin_update(...)`` must be the
+  statement *immediately before* a ``try`` whose ``finally`` calls
+  ``*.end_update(...)``.  Anything between the two (or a pairing without the
+  ``finally``) is the exact bug class PR 8 fixed by hand: an exception on the
+  writer path leaves the backend mid-update.  Delegating overrides (a
+  ``begin_update``/``end_update`` method calling ``super()``) are exempt —
+  they *are* the protocol, not a use of it.
+* ``except-swallow`` — a broad handler (``except Exception``,
+  ``except BaseException``, or a bare ``except:``) in ``src/repro/`` must
+  re-raise (a ``raise`` anywhere in its body) or account the error through a
+  metrics ``.inc(...)``.  Handlers that deliberately forward the exception
+  elsewhere (the shard-router "never fatal to the loop" replies) are the
+  documented inline-suppression allowlist, counted and capped.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional
+
+from tools.lint.core import Checker, Diagnostic, FileContext
+
+_PROTOCOL_METHODS = ("begin_update", "end_update")
+
+
+def _attr_call(node: ast.AST, attr: str) -> Optional[ast.Call]:
+    if (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)
+            and node.func.attr == attr):
+        return node
+    return None
+
+
+def _contains_attr_call(nodes: Iterable[ast.stmt], attr: str) -> bool:
+    return any(
+        _attr_call(sub, attr) is not None
+        for stmt in nodes for sub in ast.walk(stmt)
+    )
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    def broad_name(node: ast.expr) -> bool:
+        return isinstance(node, ast.Name) and node.id in ("Exception", "BaseException")
+
+    if handler.type is None:
+        return True
+    if broad_name(handler.type):
+        return True
+    if isinstance(handler.type, ast.Tuple):
+        return any(broad_name(el) for el in handler.type.elts)
+    return False
+
+
+class WriterProtocolChecker(Checker):
+    """Rules ``writer-pairing`` and ``except-swallow``."""
+
+    name = "writer-protocol"
+    rules = ("writer-pairing", "except-swallow")
+
+    def applies_to(self, rel: str) -> bool:
+        """Core package only — the contract is about the shipped writer path."""
+        return rel.startswith("src/repro/")
+
+    # ------------------------------------------------------------------ #
+    def check(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        out: List[Diagnostic] = []
+        self._walk(ctx.tree, ctx, out, in_protocol_method=False)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler) and _is_broad(node):
+                self._check_handler(ctx, node, out)
+        return out
+
+    # ------------------------------------------------------------------ #
+    # writer-pairing
+    # ------------------------------------------------------------------ #
+    def _walk(self, node: ast.AST, ctx: FileContext, out: List[Diagnostic],
+              in_protocol_method: bool) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            in_protocol_method = node.name in _PROTOCOL_METHODS
+        for field in ("body", "orelse", "finalbody"):
+            block = getattr(node, field, None)
+            if isinstance(block, list):
+                if not in_protocol_method:
+                    self._check_block(block, ctx, out)
+        for child in ast.iter_child_nodes(node):
+            self._walk(child, ctx, out, in_protocol_method)
+
+    def _check_block(self, block: List[ast.stmt], ctx: FileContext,
+                     out: List[Diagnostic]) -> None:
+        for i, stmt in enumerate(block):
+            if not isinstance(stmt, ast.Expr):
+                continue
+            call = _attr_call(stmt.value, "begin_update")
+            if call is None:
+                continue
+            nxt = block[i + 1] if i + 1 < len(block) else None
+            paired = (isinstance(nxt, ast.Try) and nxt.finalbody
+                      and _contains_attr_call(nxt.finalbody, "end_update"))
+            if not paired:
+                out.append(Diagnostic(
+                    rule="writer-pairing", path=ctx.rel,
+                    line=stmt.lineno, col=stmt.col_offset,
+                    message="begin_update is not immediately followed by a "
+                            "try whose finally calls end_update",
+                    hint="wrap everything after begin_update in "
+                         "try: ... finally: backend.end_update(update)"))
+
+    # ------------------------------------------------------------------ #
+    # except-swallow
+    # ------------------------------------------------------------------ #
+    def _check_handler(self, ctx: FileContext, handler: ast.ExceptHandler,
+                       out: List[Diagnostic]) -> None:
+        reraises = any(isinstance(sub, ast.Raise)
+                       for stmt in handler.body for sub in ast.walk(stmt))
+        accounts = _contains_attr_call(handler.body, "inc")
+        if not (reraises or accounts):
+            caught = "bare except" if handler.type is None else "except Exception"
+            out.append(Diagnostic(
+                rule="except-swallow", path=ctx.rel,
+                line=handler.lineno, col=handler.col_offset,
+                message=f"{caught} swallows the error without re-raising or "
+                        "bumping an error counter",
+                hint="narrow the exception type, re-raise, or account it via "
+                     "metrics.inc(<error counter>)"))
